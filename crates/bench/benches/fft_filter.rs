@@ -1,0 +1,70 @@
+//! FFT and polar-filter kernels — the compute side of the operator `F̃`
+//! whose *communication* the Y-Z decomposition eliminates (§4.2.1).
+
+use agcm_fft::{fft, ifft, irfft, rfft, Complex, FourierFilter};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn latitudes(ny: usize) -> Vec<f64> {
+    (0..ny)
+        .map(|j| std::f64::consts::FRAC_PI_2 - (j as f64 + 0.5) * std::f64::consts::PI / ny as f64)
+        .collect()
+}
+
+fn fft_sizes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fft_forward");
+    for n in [180usize, 360, 720, 1440] {
+        group.throughput(Throughput::Elements(n as u64));
+        let x: Vec<Complex> = (0..n)
+            .map(|i| Complex::new((i as f64 * 0.1).sin(), (i as f64 * 0.2).cos()))
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &x, |b, x| {
+            b.iter(|| std::hint::black_box(fft(x)));
+        });
+    }
+    group.finish();
+}
+
+fn fft_roundtrip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fft_roundtrip");
+    let n = 720;
+    let x: Vec<Complex> = (0..n).map(|i| Complex::new((i as f64 * 0.3).sin(), 0.0)).collect();
+    group.bench_function("complex_720", |b| {
+        b.iter(|| std::hint::black_box(ifft(&fft(&x))));
+    });
+    let xr: Vec<f64> = (0..n).map(|i| (i as f64 * 0.3).sin()).collect();
+    group.bench_function("real_720", |b| {
+        b.iter(|| {
+            let spec = rfft(&xr);
+            std::hint::black_box(irfft(&spec, n))
+        });
+    });
+    group.finish();
+}
+
+fn filter_rows(c: &mut Criterion) {
+    let mut group = c.benchmark_group("polar_filter");
+    let nx = 720;
+    let lats = latitudes(360);
+    let filter = FourierFilter::with_default_cutoff(nx, &lats);
+    let row: Vec<f64> = (0..nx).map(|i| ((i * 7) % 13) as f64).collect();
+    // a strongly damped polar row and an untouched equatorial one
+    group.bench_function("polar_row", |b| {
+        let mut r = row.clone();
+        b.iter(|| {
+            r.copy_from_slice(&row);
+            filter.apply_row(0, &mut r);
+            std::hint::black_box(r[0])
+        });
+    });
+    group.bench_function("equatorial_row_noop", |b| {
+        let mut r = row.clone();
+        b.iter(|| {
+            filter.apply_row(180, &mut r);
+            std::hint::black_box(r[0])
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, fft_sizes, fft_roundtrip, filter_rows);
+criterion_main!(benches);

@@ -1,0 +1,119 @@
+//! Halo-exchange benchmarks — the executable analogue of Figure 7 and the
+//! halo-depth ablation of `DESIGN.md` §6: thirteen shallow exchanges (the
+//! original schedule) versus two deep ones (the communication-avoiding
+//! schedule), on real thread-backed ranks.
+
+use agcm_comm::Universe;
+use agcm_core::par::{ExField, HaloExchanger};
+use agcm_mesh::{Decomposition, Field2, Field3, HaloWidths, ProcessGrid};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+const RANKS: usize = 4;
+const EXTENTS: (usize, usize, usize) = (96, 48, 16);
+
+fn decomp() -> Decomposition {
+    Decomposition::new(EXTENTS, ProcessGrid::yz(2, 2).unwrap()).unwrap()
+}
+
+/// one full exchange of `fields3` 3-D fields + one 2-D field at `depth`
+fn run_exchanges(rounds: usize, depth: usize, fields3: usize) -> f64 {
+    let out = Universe::run(RANKS, move |comm| {
+        let d = decomp();
+        let sub = d.subdomain(comm.rank());
+        let (nx, ny, nz) = sub.extents();
+        let h = HaloWidths::uniform(depth);
+        let mut f3: Vec<Field3> = (0..fields3)
+            .map(|i| {
+                let mut f = Field3::new(nx, ny, nz, h);
+                f.fill(i as f64);
+                f
+            })
+            .collect();
+        let mut f2 = Field2::new(nx, ny, h);
+        let mut ex = HaloExchanger::new(d, comm.rank());
+        for _ in 0..rounds {
+            let mut fields: Vec<ExField> = f3.iter_mut().map(ExField::F3).collect();
+            fields.push(ExField::F2(&mut f2));
+            ex.exchange(comm, h, &mut fields).unwrap();
+        }
+        f3[0].get(0, -1, 0)
+    });
+    out[0]
+}
+
+fn schedule_comparison(c: &mut Criterion) {
+    let mut group = c.benchmark_group("halo_schedule");
+    group.sample_size(20);
+    // original: 13 one-deep exchanges of 4 arrays
+    group.bench_function("original_13x_depth1", |b| {
+        b.iter(|| std::hint::black_box(run_exchanges(13, 1, 3)));
+    });
+    // communication-avoiding: 2 deep exchanges of 7/5 arrays (approximated
+    // as 2 x 6 here)
+    group.bench_function("ca_2x_depth5", |b| {
+        b.iter(|| std::hint::black_box(run_exchanges(2, 5, 5)));
+    });
+    group.finish();
+}
+
+fn halo_depth_ablation(c: &mut Criterion) {
+    // fixed total sweep budget of 12: depth d needs ceil(12/d) exchanges —
+    // the frequency/volume trade-off at the heart of §4.3.1
+    let mut group = c.benchmark_group("halo_depth_ablation");
+    group.sample_size(20);
+    for depth in [1usize, 2, 3, 4, 6] {
+        let rounds = 12usize.div_ceil(depth);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(depth),
+            &(rounds, depth),
+            |b, &(rounds, depth)| {
+                b.iter(|| std::hint::black_box(run_exchanges(rounds, depth, 4)));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn overlap_vs_blocking(c: &mut Criterion) {
+    // post/compute/finish vs post+finish back-to-back (§4.3.1's overlap)
+    let mut group = c.benchmark_group("overlap");
+    group.sample_size(20);
+    for overlapped in [false, true] {
+        let name = if overlapped { "post_compute_finish" } else { "blocking" };
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let out = Universe::run(RANKS, move |comm| {
+                    let d = decomp();
+                    let sub = d.subdomain(comm.rank());
+                    let (nx, ny, nz) = sub.extents();
+                    let h = HaloWidths::uniform(2);
+                    let mut f = Field3::new(nx, ny, nz, h);
+                    let mut ex = HaloExchanger::new(d, comm.rank());
+                    let mut acc = 0.0f64;
+                    for _ in 0..6 {
+                        let mut fields = [ExField::F3(&mut f)];
+                        let pending = ex.post_sends(comm, h, &mut fields).unwrap();
+                        if overlapped {
+                            // "inner computation" between post and finish
+                            for i in 0..20_000u64 {
+                                acc += (i as f64).sqrt();
+                            }
+                        }
+                        ex.finish_recvs(comm, pending, &mut fields).unwrap();
+                        if !overlapped {
+                            for i in 0..20_000u64 {
+                                acc += (i as f64).sqrt();
+                            }
+                        }
+                    }
+                    acc
+                });
+                std::hint::black_box(out)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, schedule_comparison, halo_depth_ablation, overlap_vs_blocking);
+criterion_main!(benches);

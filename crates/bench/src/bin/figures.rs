@@ -1,0 +1,310 @@
+//! Regenerate every table and figure of the paper's evaluation (§5).
+//!
+//! ```text
+//! cargo run -p agcm-bench --release --bin figures -- all
+//! cargo run -p agcm-bench --release --bin figures -- fig1|fig6|fig7|fig8|theory|tables|validate
+//! ```
+//!
+//! Figures 1, 6, 7, 8 are produced by the calibrated cost model evaluated
+//! on the exact per-rank traffic of each algorithm at the paper's rank
+//! counts; `validate` re-derives the same counts from *executing* runs at
+//! laptop scale and prints the (exact) agreement.  Absolute seconds are
+//! model-calibrated; the comparisons the paper draws (who wins, by what
+//! factor, where) are the reproduction targets — see EXPERIMENTS.md.
+
+use agcm_bench::{predict, predict_ideal, steps_10_years, PAPER_RANKS};
+use agcm_comm::{p2p_only_delta, CostModel, Universe};
+use agcm_core::analysis::{self, AlgKind};
+use agcm_core::{init, tables, ModelConfig};
+use agcm_mesh::ProcessGrid;
+
+fn main() {
+    let what = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+    let cfg = ModelConfig::paper_50km();
+    let model = CostModel::tianhe2();
+    match what.as_str() {
+        "fig1" => fig1(&cfg, &model),
+        "fig6" => fig6(&cfg, &model),
+        "fig7" => fig7(&cfg, &model),
+        "fig8" => fig8(&cfg, &model),
+        "theory" => theory(&cfg),
+        "tables" => print_tables(),
+        "validate" => validate(),
+        "all" => {
+            print_tables();
+            fig1(&cfg, &model);
+            fig6(&cfg, &model);
+            fig7(&cfg, &model);
+            fig8(&cfg, &model);
+            theory(&cfg);
+            validate();
+        }
+        other => {
+            eprintln!("unknown figure '{other}'");
+            eprintln!("usage: figures [all|fig1|fig6|fig7|fig8|theory|tables|validate]");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn header(title: &str) {
+    println!("\n{:=^78}", format!(" {title} "));
+}
+
+/// Figure 1: percentage of time for communication and computation in the
+/// dynamical core (original algorithm, Y-Z decomposition, 720x360x30).
+fn fig1(cfg: &ModelConfig, model: &CostModel) {
+    header("Figure 1 — communication vs computation share of the dynamical core");
+    println!(
+        "{:>6} {:>14} {:>14} {:>12} {:>12}",
+        "p", "comm time ms", "comp time ms", "comm %", "comp %"
+    );
+    for p in PAPER_RANKS {
+        let c = predict(cfg, AlgKind::OriginalYZ, p, model);
+        let comm = c.stencil_comm_s + c.collective_comm_s;
+        let total = c.total_s();
+        println!(
+            "{p:>6} {:>14.2} {:>14.2} {:>11.1}% {:>11.1}%",
+            comm * 1e3,
+            c.compute_s * 1e3,
+            100.0 * comm / total,
+            100.0 * c.compute_s / total
+        );
+    }
+    println!("paper: \"the communication time dominates the runtime of the dynamical core\"");
+}
+
+/// Figure 6: time for collective communication over a 10-model-year run.
+fn fig6(cfg: &ModelConfig, model: &CostModel) {
+    header("Figure 6 — collective communication time (10 model years)");
+    let k = steps_10_years(cfg);
+    println!(
+        "{:>6} {:>18} {:>18} {:>18} {:>10}",
+        "p", "X-Y (F) [s]", "Y-Z (C) [s]", "CA (C) [s]", "YZ/CA"
+    );
+    let mut speedups = Vec::new();
+    for p in PAPER_RANKS {
+        let xy = predict(cfg, AlgKind::OriginalXY, p, model).collective_comm_s * k;
+        let yz = predict(cfg, AlgKind::OriginalYZ, p, model).collective_comm_s * k;
+        let ca = predict(cfg, AlgKind::CommAvoiding, p, model).collective_comm_s * k;
+        speedups.push(yz / ca);
+        println!(
+            "{p:>6} {:>18.0} {:>18.0} {:>18.0} {:>9.2}x",
+            xy, yz, ca, yz / ca
+        );
+    }
+    let avg = speedups.iter().sum::<f64>() / speedups.len() as f64;
+    println!(
+        "average Y-Z/CA collective speedup: {avg:.2}x   (paper: 1.4x; one third of the\n\
+         z-direction summations removed by the approximate nonlinear iteration, §4.2.2)"
+    );
+    println!("X-Y's Fourier-filtering collectives dominate, as in the paper's Figure 6.");
+}
+
+/// Figure 7: communication time of the stencil computation.
+fn fig7(cfg: &ModelConfig, model: &CostModel) {
+    header("Figure 7 — stencil (halo) communication time (10 model years)");
+    let k = steps_10_years(cfg);
+    println!(
+        "{:>6} {:>13} {:>13} {:>13} {:>13} {:>8} {:>8}",
+        "p", "X-Y [s]", "Y-Z [s]", "CA [s]", "CA-ideal[s]", "YZ/CA", "ideal"
+    );
+    let mut sp = Vec::new();
+    let mut spi = Vec::new();
+    for p in PAPER_RANKS {
+        let xy = predict(cfg, AlgKind::OriginalXY, p, model).stencil_comm_s * k;
+        let yz = predict(cfg, AlgKind::OriginalYZ, p, model).stencil_comm_s * k;
+        let ca = predict(cfg, AlgKind::CommAvoiding, p, model).stencil_comm_s * k;
+        let cai = predict_ideal(cfg, AlgKind::CommAvoiding, p, model).stencil_comm_s * k;
+        sp.push(yz / ca);
+        spi.push(yz / cai);
+        println!(
+            "{p:>6} {:>13.0} {:>13.0} {:>13.0} {:>13.0} {:>7.2}x {:>7.2}x",
+            xy,
+            yz,
+            ca,
+            cai,
+            yz / ca,
+            yz / cai
+        );
+    }
+    println!(
+        "average Y-Z/CA stencil speedup: {:.2}x executable (clamped halo depth), {:.2}x under\n\
+         the paper's idealized 2-exchange accounting   (paper: 3x-6x, 3.9x average;\n\
+         17,400 s -> 2,800 s at p = 1024)",
+        sp.iter().sum::<f64>() / sp.len() as f64,
+        spi.iter().sum::<f64>() / spi.len() as f64
+    );
+    // per-rank volumes: the paper's W^stencil comparison (§5.2)
+    println!("\nper-rank halo volumes per step (f64 elements) — the paper's W^stencil ordering:");
+    println!("{:>6} {:>12} {:>12} {:>12}", "p", "X-Y", "Y-Z", "CA");
+    for p in PAPER_RANKS {
+        let xy = predict(cfg, AlgKind::OriginalXY, p, model).max.p2p_elems;
+        let yz = predict(cfg, AlgKind::OriginalYZ, p, model).max.p2p_elems;
+        let ca = predict(cfg, AlgKind::CommAvoiding, p, model).max.p2p_elems;
+        println!("{p:>6} {xy:>12} {yz:>12} {ca:>12}");
+    }
+    println!(
+        "W_XY << W_YZ (n_x >> n_y, n_z — §5.2), and CA ships slightly more than Y-Z\n\
+         (redundant corner halos) while cutting the frequency from 13 to 2 per step."
+    );
+}
+
+/// Figure 8: total runtime of the dynamical core.
+fn fig8(cfg: &ModelConfig, model: &CostModel) {
+    header("Figure 8 — total runtime of the dynamical core (10 model years)");
+    let k = steps_10_years(cfg);
+    println!(
+        "{:>6} {:>13} {:>13} {:>13} {:>10} {:>10}",
+        "p", "X-Y [s]", "Y-Z [s]", "CA [s]", "vs XY", "vs YZ"
+    );
+    let mut best_red: f64 = 0.0;
+    let mut yz_speedups = Vec::new();
+    for p in PAPER_RANKS {
+        let xy = predict(cfg, AlgKind::OriginalXY, p, model).total_s() * k;
+        let yz = predict(cfg, AlgKind::OriginalYZ, p, model).total_s() * k;
+        let ca = predict(cfg, AlgKind::CommAvoiding, p, model).total_s() * k;
+        let red = 1.0 - ca / xy;
+        best_red = best_red.max(red);
+        yz_speedups.push(yz / ca);
+        println!(
+            "{p:>6} {:>13.0} {:>13.0} {:>13.0} {:>9.1}% {:>9.2}x",
+            xy,
+            yz,
+            ca,
+            100.0 * red,
+            yz / ca
+        );
+    }
+    println!(
+        "max total-runtime reduction vs X-Y: {:.0}%   (paper: 54% at p = 512)",
+        100.0 * best_red
+    );
+    println!(
+        "average speedup vs Y-Z: {:.2}x   (paper: 1.4x)",
+        yz_speedups.iter().sum::<f64>() / yz_speedups.len() as f64
+    );
+}
+
+/// §5.3: the W/S cost formulas and the lower bounds of Theorems 4.1/4.2.
+fn theory(cfg: &ModelConfig) {
+    header("§5.3 — theoretical communication (W) and synchronization (S) costs");
+    let k = 1;
+    println!("per time step (K = 1), M = {}:", cfg.m_iters);
+    println!(
+        "{:>6} {:>14} {:>14} {:>14} {:>8} {:>8} {:>8}",
+        "p", "W_XY", "W_YZ", "W_CA", "S_XY", "S_YZ", "S_CA"
+    );
+    for p in PAPER_RANKS {
+        let yz = agcm_bench::yz_grid(p);
+        let xy = agcm_bench::xy_grid(p);
+        let (py, pz) = (yz.py(), yz.pz());
+        let (px, pyx) = (xy.px(), xy.py());
+        println!(
+            "{p:>6} {:>14.3e} {:>14.3e} {:>14.3e} {:>8.0} {:>8.0} {:>8.0}",
+            analysis::w_xy(cfg, px, pyx, k),
+            analysis::w_yz(cfg, py, pz, k),
+            analysis::w_ca(cfg, py, pz, k),
+            analysis::s_xy(cfg, k),
+            analysis::s_yz(cfg, k),
+            analysis::s_ca(cfg, k),
+        );
+    }
+    println!("\nW_XY >> W_YZ > W_CA and S_XY > S_YZ > S_CA — §5.3's conclusion.");
+    println!("\nlower bounds:");
+    println!(
+        "  Theorem 4.1 (F, per rank, one circle): {:.0} words at p_x = 16; 0 at p_x = 1 —\n\
+         the Y-Z decomposition eliminates the high-order term (§4.2.1)",
+        analysis::fft_lower_bound(cfg.nx, 16)
+    );
+    println!(
+        "  Theorem 4.2 (C, total): 2(p_z-1)·n_x·n_y = {:.3e} words at p_z = 8,\n\
+         attained by the ring/allgather family the runtime implements",
+        analysis::reduction_lower_bound(cfg.nx, cfg.ny, 8)
+    );
+}
+
+/// Tables 1–3: the declared stencil footprints.
+fn print_tables() {
+    header("Tables 1-3 — stencil footprints (declared = enforced by tests)");
+    println!("Table 1 (adaptation):");
+    for fp in tables::table1() {
+        println!("  {fp}");
+    }
+    println!("Table 2 (advection):");
+    for fp in tables::table2() {
+        println!("  {fp}");
+    }
+    println!("Table 3 (smoothing):");
+    for fp in tables::table3() {
+        println!("  {fp}");
+    }
+    let u = tables::adaptation_union();
+    println!("adaptation union: {u}");
+    let (ylo, yhi) = tables::ca_halo_extent(3, agcm_mesh::Axis::Y);
+    println!("CA deep halo (M = 3): y = {ylo}/{yhi}, matching Figure 4's 3M(+2) layers");
+}
+
+/// Execute small real runs and show the predictor matching them exactly.
+fn validate() {
+    header("validation — executing runtime vs cost-model traffic counts");
+    let mut cfg = ModelConfig::test_medium();
+    cfg.m_iters = 1;
+    let model = CostModel::tianhe2();
+    for (name, alg, pg) in [
+        ("original Y-Z", AlgKind::OriginalYZ, ProcessGrid::yz(2, 2).unwrap()),
+        ("original X-Y", AlgKind::OriginalXY, ProcessGrid::xy(2, 2).unwrap()),
+        ("comm-avoiding", AlgKind::CommAvoiding, ProcessGrid::yz(2, 2).unwrap()),
+    ] {
+        let cfg2 = cfg.clone();
+        let measured = Universe::run(4, move |comm| {
+            let mut step: Box<dyn FnMut(&agcm_comm::Communicator)> = match alg {
+                AlgKind::CommAvoiding => {
+                    let mut m =
+                        agcm_core::par::CaModel::new(&cfg2, pg, comm).unwrap();
+                    let ic = init::perturbed_rest(m.geom(), 100.0, 1.0, 3);
+                    m.set_state(&ic);
+                    Box::new(move |c| m.step(c).unwrap())
+                }
+                _ => {
+                    let mut m =
+                        agcm_core::par::Alg1Model::new(&cfg2, pg, comm).unwrap();
+                    let ic = init::perturbed_rest(m.geom(), 100.0, 1.0, 3);
+                    m.set_state(&ic);
+                    Box::new(move |c| m.step(c).unwrap())
+                }
+            };
+            step(comm); // warm-up (CA cache bootstrap)
+            let s0 = comm.stats().snapshot();
+            let e0 = comm.stats().collective_events().len();
+            step(comm);
+            let d = comm.stats().snapshot().delta(&s0);
+            let ev = comm.stats().collective_events()[e0..].to_vec();
+            let pure = p2p_only_delta(&d, &ev);
+            (pure.p2p_sends, pure.p2p_send_elems)
+        });
+        let decomp =
+            agcm_mesh::Decomposition::new(cfg.extents(), pg).expect("valid decomposition");
+        let grid = cfg.grid().unwrap();
+        let lats: Vec<f64> = (0..grid.ny()).map(|j| grid.latitude(j)).collect();
+        let filter = agcm_fft::FourierFilter::new(
+            grid.nx(),
+            &lats,
+            cfg.filter_cutoff_deg.to_radians(),
+        );
+        let flags: Vec<bool> = (0..grid.ny()).map(|j| filter.is_active(j)).collect();
+        println!("{name} (4 ranks, measured vs predicted per-rank):");
+        for (rank, &(msgs, elems)) in measured.iter().enumerate() {
+            let rc = analysis::predict_rank(&cfg, alg, &decomp, rank, &model, &flags);
+            let ok = rc.p2p_msgs == msgs && rc.p2p_elems == elems;
+            println!(
+                "  rank {rank}: msgs {msgs:>4} vs {:>4}, elems {elems:>7} vs {:>7}  {}",
+                rc.p2p_msgs,
+                rc.p2p_elems,
+                if ok { "EXACT" } else { "MISMATCH" }
+            );
+            assert!(ok, "prediction diverged from the executing runtime");
+        }
+    }
+    println!("every count matches: the figures above rest on the executing implementation.");
+}

@@ -1,0 +1,622 @@
+//! Collective operations.
+//!
+//! The summation operator `C` of the dynamical core is an `allreduce` along
+//! the z direction; the distributed FFT of the X-Y decomposition needs
+//! `alltoall`; `split` (in [`crate::runtime`]) builds the per-axis
+//! communicators from the world.  All collectives here are implemented on
+//! top of the point-to-point layer, so every byte they move is counted by
+//! the same statistics the benchmark harness reads.
+//!
+//! Two allreduce algorithms are provided, because the paper's Theorem 4.2
+//! cites the **ring** algorithm as the one attaining the data-movement lower
+//! bound `Ω(2(p_z - 1) n_x n_y)` for long vectors (Thakur, Rabenseifner &
+//! Gropp 2005):
+//!
+//! * [`AllreduceAlgo::Ring`] — reduce-scatter + allgather; bandwidth-optimal,
+//!   `2(p-1)` messages of `n/p` elements per rank,
+//! * [`AllreduceAlgo::RecursiveDoubling`] — `log₂ p` rounds of full-vector
+//!   exchanges; latency-optimal for short vectors (used for ablation).
+
+use crate::error::{CommError, CommResult};
+use crate::runtime::Communicator;
+use crate::stats::CollectiveKind;
+
+/// Reduction operator for `reduce`/`allreduce`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReduceOp {
+    /// Element-wise sum.
+    Sum,
+    /// Element-wise maximum.
+    Max,
+    /// Element-wise minimum.
+    Min,
+}
+
+impl ReduceOp {
+    #[inline]
+    fn apply(self, acc: &mut [f64], other: &[f64]) {
+        debug_assert_eq!(acc.len(), other.len());
+        match self {
+            ReduceOp::Sum => acc.iter_mut().zip(other).for_each(|(a, &b)| *a += b),
+            ReduceOp::Max => acc.iter_mut().zip(other).for_each(|(a, &b)| *a = a.max(b)),
+            ReduceOp::Min => acc.iter_mut().zip(other).for_each(|(a, &b)| *a = a.min(b)),
+        }
+    }
+}
+
+/// Allreduce algorithm selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AllreduceAlgo {
+    /// Bandwidth-optimal ring (the paper's reference algorithm).
+    #[default]
+    Ring,
+    /// Latency-optimal recursive doubling.
+    RecursiveDoubling,
+}
+
+/// Balanced block partition (same convention as `agcm_mesh::decomp`): the
+/// first `n mod p` blocks get one extra element.
+fn block(n: usize, p: usize, r: usize) -> std::ops::Range<usize> {
+    let base = n / p;
+    let rem = n % p;
+    let start = r * base + r.min(rem);
+    start..start + base + usize::from(r < rem)
+}
+
+impl Communicator {
+    /// Synchronize all ranks (dissemination barrier, ⌈log₂ p⌉ rounds).
+    pub fn barrier(&self) -> CommResult<()> {
+        self.bump_coll_seq();
+        let p = self.size();
+        self.stats().record_collective(CollectiveKind::Barrier, p, 0);
+        let mut k = 0u32;
+        let mut step = 1usize;
+        while step < p {
+            let tag = self.next_coll_tag(k);
+            let to = (self.rank() + step) % p;
+            let from = (self.rank() + p - step) % p;
+            self.send_raw(to, tag, Vec::new())?;
+            self.recv_raw(from, tag)?;
+            step <<= 1;
+            k += 1;
+        }
+        Ok(())
+    }
+
+    /// In-place allreduce with the default (ring) algorithm.
+    pub fn allreduce_sum(&self, data: &mut [f64]) -> CommResult<()> {
+        self.allreduce(ReduceOp::Sum, data, AllreduceAlgo::Ring)
+    }
+
+    /// In-place allreduce.
+    pub fn allreduce(
+        &self,
+        op: ReduceOp,
+        data: &mut [f64],
+        algo: AllreduceAlgo,
+    ) -> CommResult<()> {
+        self.bump_coll_seq();
+        let p = self.size();
+        self.stats()
+            .record_collective(CollectiveKind::Allreduce, p, data.len());
+        if p == 1 {
+            return Ok(());
+        }
+        match algo {
+            AllreduceAlgo::Ring => self.allreduce_ring(op, data),
+            AllreduceAlgo::RecursiveDoubling => self.allreduce_rd(op, data),
+        }
+    }
+
+    /// Ring allreduce: reduce-scatter then allgather, `2(p-1)` rounds.
+    fn allreduce_ring(&self, op: ReduceOp, data: &mut [f64]) -> CommResult<()> {
+        let p = self.size();
+        let r = self.rank();
+        let next = (r + 1) % p;
+        let prev = (r + p - 1) % p;
+        let n = data.len();
+        // reduce-scatter
+        for s in 0..p - 1 {
+            let tag = self.next_coll_tag(s as u32);
+            let send_b = block(n, p, (r + p - s) % p);
+            let recv_b = block(n, p, (r + p - s - 1) % p);
+            self.send_raw(next, tag, data[send_b].to_vec())?;
+            let incoming = self.recv_raw(prev, tag)?;
+            if incoming.len() != recv_b.len() {
+                return Err(CommError::SizeMismatch {
+                    expected: recv_b.len(),
+                    got: incoming.len(),
+                });
+            }
+            op.apply(&mut data[recv_b], &incoming);
+        }
+        // allgather of the reduced blocks
+        for s in 0..p - 1 {
+            let tag = self.next_coll_tag((p - 1 + s) as u32);
+            let send_b = block(n, p, (r + 1 + p - s) % p);
+            let recv_b = block(n, p, (r + p - s) % p);
+            self.send_raw(next, tag, data[send_b].to_vec())?;
+            let incoming = self.recv_raw(prev, tag)?;
+            if incoming.len() != recv_b.len() {
+                return Err(CommError::SizeMismatch {
+                    expected: recv_b.len(),
+                    got: incoming.len(),
+                });
+            }
+            data[recv_b].copy_from_slice(&incoming);
+        }
+        Ok(())
+    }
+
+    /// Recursive-doubling allreduce (MPICH-style non-power-of-two handling).
+    fn allreduce_rd(&self, op: ReduceOp, data: &mut [f64]) -> CommResult<()> {
+        let p = self.size();
+        let r = self.rank();
+        let pof2 = 1usize << (usize::BITS - 1 - p.leading_zeros());
+        let rem = p - pof2;
+        // Fold the first 2*rem ranks pairwise so pof2 ranks stay active.
+        let new_rank: Option<usize> = if r < 2 * rem {
+            if r % 2 == 1 {
+                let tag = self.next_coll_tag(0);
+                self.send_raw(r - 1, tag, data.to_vec())?;
+                None
+            } else {
+                let tag = self.next_coll_tag(0);
+                let incoming = self.recv_raw(r + 1, tag)?;
+                op.apply(data, &incoming);
+                Some(r / 2)
+            }
+        } else {
+            Some(r - rem)
+        };
+        if let Some(nr) = new_rank {
+            let to_real = |v: usize| if v < rem { v * 2 } else { v + rem };
+            let mut mask = 1usize;
+            let mut round = 1u32;
+            while mask < pof2 {
+                let partner = to_real(nr ^ mask);
+                let tag = self.next_coll_tag(round);
+                self.send_raw(partner, tag, data.to_vec())?;
+                let incoming = self.recv_raw(partner, tag)?;
+                op.apply(data, &incoming);
+                mask <<= 1;
+                round += 1;
+            }
+        }
+        // Send results back to the folded (odd) ranks.
+        if r < 2 * rem {
+            let tag = self.next_coll_tag(63);
+            if r % 2 == 0 {
+                self.send_raw(r + 1, tag, data.to_vec())?;
+            } else {
+                let incoming = self.recv_raw(r - 1, tag)?;
+                data.copy_from_slice(&incoming);
+            }
+        }
+        Ok(())
+    }
+
+    /// Reduce to `root` (binomial tree).  `data` holds this rank's
+    /// contribution on entry and the reduced result on exit at the root
+    /// (other ranks' buffers end up holding partial sums).
+    pub fn reduce(&self, root: usize, op: ReduceOp, data: &mut [f64]) -> CommResult<()> {
+        self.bump_coll_seq();
+        let p = self.size();
+        self.stats()
+            .record_collective(CollectiveKind::Reduce, p, data.len());
+        if p == 1 {
+            return Ok(());
+        }
+        let vr = (self.rank() + p - root) % p;
+        let mut mask = 1usize;
+        let mut round = 0u32;
+        while mask < p {
+            let tag = self.next_coll_tag(round);
+            if vr & mask == 0 {
+                let src = vr | mask;
+                if src < p {
+                    let incoming = self.recv_raw((src + root) % p, tag)?;
+                    op.apply(data, &incoming);
+                }
+            } else {
+                let dst = vr & !mask;
+                self.send_raw((dst + root) % p, tag, data.to_vec())?;
+                break;
+            }
+            mask <<= 1;
+            round += 1;
+        }
+        Ok(())
+    }
+
+    /// Broadcast `data` from `root` (binomial tree).
+    pub fn bcast(&self, root: usize, data: &mut [f64]) -> CommResult<()> {
+        self.bump_coll_seq();
+        let p = self.size();
+        self.stats()
+            .record_collective(CollectiveKind::Bcast, p, data.len());
+        if p == 1 {
+            return Ok(());
+        }
+        let vr = (self.rank() + p - root) % p;
+        let mut mask = 1usize;
+        let mut round = 0u32;
+        while mask < p {
+            if vr & mask != 0 {
+                let src = vr - mask;
+                let tag = self.next_coll_tag(round);
+                let incoming = self.recv_raw((src + root) % p, tag)?;
+                if incoming.len() != data.len() {
+                    return Err(CommError::SizeMismatch {
+                        expected: data.len(),
+                        got: incoming.len(),
+                    });
+                }
+                data.copy_from_slice(&incoming);
+                break;
+            }
+            mask <<= 1;
+            round += 1;
+        }
+        // rounds below `mask` are mine to forward
+        let mut m = mask >> 1;
+        loop {
+            if m == 0 {
+                break;
+            }
+            if vr + m < p {
+                let dst = vr + m;
+                let round = m.trailing_zeros();
+                let tag = self.next_coll_tag(round);
+                self.send_raw((dst + root) % p, tag, data.to_vec())?;
+            }
+            m >>= 1;
+        }
+        Ok(())
+    }
+
+    /// All-gather equal-size contributions; returns the concatenation in
+    /// rank order (`p * data.len()` values).  Ring algorithm, `p-1` rounds.
+    pub fn allgather(&self, data: &[f64]) -> CommResult<Vec<f64>> {
+        self.bump_coll_seq();
+        let p = self.size();
+        self.stats()
+            .record_collective(CollectiveKind::Allgather, p, data.len());
+        let n = data.len();
+        let mut out = vec![0.0; p * n];
+        let r = self.rank();
+        out[r * n..(r + 1) * n].copy_from_slice(data);
+        if p == 1 {
+            return Ok(out);
+        }
+        let next = (r + 1) % p;
+        let prev = (r + p - 1) % p;
+        for s in 0..p - 1 {
+            let tag = self.next_coll_tag(s as u32);
+            let send_blk = (r + p - s) % p;
+            let recv_blk = (r + p - s - 1) % p;
+            self.send_raw(next, tag, out[send_blk * n..(send_blk + 1) * n].to_vec())?;
+            let incoming = self.recv_raw(prev, tag)?;
+            if incoming.len() != n {
+                return Err(CommError::SizeMismatch {
+                    expected: n,
+                    got: incoming.len(),
+                });
+            }
+            out[recv_blk * n..(recv_blk + 1) * n].copy_from_slice(&incoming);
+        }
+        Ok(out)
+    }
+
+    /// Gather variable-size contributions to `root`; returns `Some(per-rank
+    /// vectors)` at the root, `None` elsewhere.
+    pub fn gatherv(&self, root: usize, data: &[f64]) -> CommResult<Option<Vec<Vec<f64>>>> {
+        self.bump_coll_seq();
+        let p = self.size();
+        self.stats()
+            .record_collective(CollectiveKind::Gather, p, data.len());
+        if self.rank() == root {
+            let mut out: Vec<Vec<f64>> = vec![Vec::new(); p];
+            out[root] = data.to_vec();
+            for r in 0..p {
+                if r != root {
+                    let tag = self.next_coll_tag(0);
+                    out[r] = self.recv_raw(r, tag)?;
+                }
+            }
+            Ok(Some(out))
+        } else {
+            let tag = self.next_coll_tag(0);
+            self.send_raw(root, tag, data.to_vec())?;
+            Ok(None)
+        }
+    }
+
+    /// Exclusive prefix sum across ranks: on return `data` holds the
+    /// element-wise sum of the `data` of all ranks with a *lower* rank
+    /// (zeros on rank 0).  Implemented over allgather — the dynamical core
+    /// uses this for the hydrostatic / continuity integrals along z, whose
+    /// data movement the paper folds into the summation operator `C`.
+    pub fn exscan_sum(&self, data: &mut [f64]) -> CommResult<()> {
+        let all = self.allgather(data)?;
+        let n = data.len();
+        data.fill(0.0);
+        for r in 0..self.rank() {
+            for (d, &v) in data.iter_mut().zip(&all[r * n..(r + 1) * n]) {
+                *d += v;
+            }
+        }
+        Ok(())
+    }
+
+    /// Personalized all-to-all with per-destination payloads.
+    /// `send[d]` goes to rank `d`; returns `recv[s]` from each rank `s`.
+    /// Pairwise exchange, `p-1` rounds.
+    pub fn alltoallv(&self, send: &[Vec<f64>]) -> CommResult<Vec<Vec<f64>>> {
+        self.bump_coll_seq();
+        let p = self.size();
+        if send.len() != p {
+            return Err(CommError::CollectiveMismatch(format!(
+                "alltoallv needs {p} send buffers, got {}",
+                send.len()
+            )));
+        }
+        let r = self.rank();
+        // record only what actually crosses the network (the own-block
+        // copy below is local), so traffic accounting stays exact
+        let total: usize = send
+            .iter()
+            .enumerate()
+            .filter(|(d, _)| *d != r)
+            .map(|(_, v)| v.len())
+            .sum();
+        self.stats()
+            .record_collective(CollectiveKind::Alltoall, p, total);
+        let mut out: Vec<Vec<f64>> = vec![Vec::new(); p];
+        out[r] = send[r].clone();
+        for i in 1..p {
+            let dst = (r + i) % p;
+            let src = (r + p - i) % p;
+            let tag = self.next_coll_tag(i as u32);
+            self.send_raw(dst, tag, send[dst].clone())?;
+            out[src] = self.recv_raw(src, tag)?;
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::Universe;
+
+    fn expected_sum(p: usize, n: usize) -> Vec<f64> {
+        // rank r contributes [r, r+1, ..]: sum over r of (r + i)
+        (0..n)
+            .map(|i| (0..p).map(|r| (r + i) as f64).sum())
+            .collect()
+    }
+
+    #[test]
+    fn allreduce_ring_matches_serial_fold() {
+        for p in [1usize, 2, 3, 4, 5, 8] {
+            for n in [1usize, 3, 7, 16, 33] {
+                let results = Universe::run(p, |comm| {
+                    let mut data: Vec<f64> =
+                        (0..n).map(|i| (comm.rank() + i) as f64).collect();
+                    comm.allreduce(ReduceOp::Sum, &mut data, AllreduceAlgo::Ring)
+                        .unwrap();
+                    data
+                });
+                let want = expected_sum(p, n);
+                for r in &results {
+                    assert_eq!(r, &want, "p={p} n={n}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn allreduce_recursive_doubling_matches() {
+        for p in [2usize, 3, 4, 5, 6, 7, 8] {
+            let n = 10;
+            let results = Universe::run(p, |comm| {
+                let mut data: Vec<f64> = (0..n).map(|i| (comm.rank() + i) as f64).collect();
+                comm.allreduce(ReduceOp::Sum, &mut data, AllreduceAlgo::RecursiveDoubling)
+                    .unwrap();
+                data
+            });
+            let want = expected_sum(p, n);
+            for r in &results {
+                assert_eq!(r, &want, "p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn allreduce_max_min() {
+        let results = Universe::run(4, |comm| {
+            let mut mx = vec![comm.rank() as f64];
+            comm.allreduce(ReduceOp::Max, &mut mx, AllreduceAlgo::Ring)
+                .unwrap();
+            let mut mn = vec![comm.rank() as f64];
+            comm.allreduce(ReduceOp::Min, &mut mn, AllreduceAlgo::RecursiveDoubling)
+                .unwrap();
+            (mx[0], mn[0])
+        });
+        for (mx, mn) in results {
+            assert_eq!(mx, 3.0);
+            assert_eq!(mn, 0.0);
+        }
+    }
+
+    #[test]
+    fn allreduce_shorter_than_comm() {
+        // vector shorter than p: some ring blocks are empty
+        let results = Universe::run(6, |comm| {
+            let mut data = vec![comm.rank() as f64, 1.0];
+            comm.allreduce_sum(&mut data).unwrap();
+            data
+        });
+        for r in results {
+            assert_eq!(r, vec![15.0, 6.0]);
+        }
+    }
+
+    #[test]
+    fn reduce_to_each_root() {
+        for root in 0..4 {
+            let results = Universe::run(4, |comm| {
+                let mut data = vec![comm.rank() as f64 + 1.0];
+                comm.reduce(root, ReduceOp::Sum, &mut data).unwrap();
+                data[0]
+            });
+            assert_eq!(results[root], 10.0, "root={root}");
+        }
+    }
+
+    #[test]
+    fn bcast_from_each_root() {
+        for root in 0..5 {
+            let results = Universe::run(5, |comm| {
+                let mut data = vec![0.0; 4];
+                if comm.rank() == root {
+                    data = vec![1.0, 2.0, 3.0, 4.0];
+                }
+                comm.bcast(root, &mut data).unwrap();
+                data
+            });
+            for r in results {
+                assert_eq!(r, vec![1.0, 2.0, 3.0, 4.0], "root={root}");
+            }
+        }
+    }
+
+    #[test]
+    fn allgather_rank_order() {
+        for p in [1usize, 2, 3, 5, 8] {
+            let results = Universe::run(p, |comm| {
+                comm.allgather(&[comm.rank() as f64, -(comm.rank() as f64)])
+                    .unwrap()
+            });
+            let want: Vec<f64> = (0..p).flat_map(|r| [r as f64, -(r as f64)]).collect();
+            for r in &results {
+                assert_eq!(r, &want, "p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn gatherv_variable_sizes() {
+        let results = Universe::run(4, |comm| {
+            let data: Vec<f64> = (0..comm.rank() + 1).map(|i| i as f64).collect();
+            comm.gatherv(2, &data).unwrap()
+        });
+        let gathered = results[2].as_ref().unwrap();
+        assert_eq!(gathered.len(), 4);
+        for (r, v) in gathered.iter().enumerate() {
+            assert_eq!(v.len(), r + 1);
+        }
+        assert!(results[0].is_none());
+    }
+
+    #[test]
+    fn alltoallv_transpose() {
+        let p = 4;
+        let results = Universe::run(p, |comm| {
+            let send: Vec<Vec<f64>> = (0..p)
+                .map(|d| vec![(comm.rank() * 10 + d) as f64])
+                .collect();
+            comm.alltoallv(&send).unwrap()
+        });
+        for (r, recv) in results.iter().enumerate() {
+            for (s, v) in recv.iter().enumerate() {
+                assert_eq!(v[0], (s * 10 + r) as f64, "recv[{s}] at rank {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn alltoallv_wrong_bufcount() {
+        let results = Universe::run(2, |comm| comm.alltoallv(&[vec![1.0]]).err());
+        assert!(matches!(
+            results[0],
+            Some(CommError::CollectiveMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn exscan_prefix_sums() {
+        for p in [1usize, 2, 4, 5] {
+            let results = Universe::run(p, |comm| {
+                let mut data = vec![comm.rank() as f64 + 1.0, 10.0];
+                comm.exscan_sum(&mut data).unwrap();
+                data
+            });
+            for (r, d) in results.iter().enumerate() {
+                // sum of (1..=r) and r copies of 10
+                let want0: f64 = (1..=r).map(|v| v as f64).sum();
+                assert_eq!(d[0], want0, "p={p} r={r}");
+                assert_eq!(d[1], 10.0 * r as f64);
+            }
+        }
+    }
+
+    #[test]
+    fn barrier_completes() {
+        for p in [1usize, 2, 3, 7] {
+            let results = Universe::run(p, |comm| {
+                for _ in 0..5 {
+                    comm.barrier().unwrap();
+                }
+                true
+            });
+            assert!(results.iter().all(|&b| b));
+        }
+    }
+
+    #[test]
+    fn consecutive_collectives_do_not_cross_match() {
+        // two back-to-back allreduces with different data; sequence-stamped
+        // tags must keep the rounds separate even under thread-timing skew
+        let results = Universe::run(4, |comm| {
+            let mut a = vec![1.0];
+            comm.allreduce_sum(&mut a).unwrap();
+            let mut b = vec![10.0];
+            comm.allreduce_sum(&mut b).unwrap();
+            (a[0], b[0])
+        });
+        for (a, b) in results {
+            assert_eq!((a, b), (4.0, 40.0));
+        }
+    }
+
+    #[test]
+    fn collective_on_split_axis_comm() {
+        // 2x3 grid: allreduce along "rows" — the dynamical core's z-sum
+        let results = Universe::run(6, |comm| {
+            let row = comm.rank() / 3;
+            let sub = comm.split(row, comm.rank()).unwrap();
+            let mut v = vec![comm.rank() as f64];
+            sub.allreduce_sum(&mut v).unwrap();
+            v[0]
+        });
+        assert_eq!(results, vec![3.0, 3.0, 3.0, 12.0, 12.0, 12.0]);
+    }
+
+    #[test]
+    fn stats_see_collective_traffic() {
+        let results = Universe::run(4, |comm| {
+            let mut v = vec![0.0; 64];
+            comm.allreduce_sum(&mut v).unwrap();
+            comm.stats().snapshot()
+        });
+        for s in results {
+            assert_eq!(s.collective_calls, 1);
+            assert_eq!(s.collective_elems, 64);
+            // ring: 2(p-1) = 6 messages of ~n/p = 16 elements
+            assert_eq!(s.p2p_sends, 6);
+            assert_eq!(s.p2p_send_elems, 96);
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! Error types of the communication runtime.
+
+use std::fmt;
+use std::time::Duration;
+
+/// Errors surfaced by the message-passing runtime.
+///
+/// A real MPI job would abort on most of these; the simulated runtime turns
+/// them into values so tests can inject failures and assert on the exact
+/// failure mode (deadlock, size mismatch, invalid rank).
+#[derive(Debug, Clone, PartialEq)]
+pub enum CommError {
+    /// A receive matched no message within the deadlock timeout.
+    DeadlockTimeout {
+        /// Receiving rank (within its communicator).
+        rank: usize,
+        /// Expected source rank.
+        src: usize,
+        /// Expected tag.
+        tag: u32,
+        /// How long the receive waited.
+        waited: Duration,
+    },
+    /// A rank index was outside `0..size`.
+    InvalidRank {
+        /// The offending rank.
+        rank: usize,
+        /// Communicator size.
+        size: usize,
+    },
+    /// A received message had a different length than the receiver expected.
+    SizeMismatch {
+        /// Expected number of `f64` values.
+        expected: usize,
+        /// Received number of `f64` values.
+        got: usize,
+    },
+    /// The peer's mailbox is gone (its thread panicked or returned early).
+    PeerGone {
+        /// The unreachable peer (global rank).
+        peer: usize,
+    },
+    /// A collective was called with inconsistent arguments across ranks.
+    CollectiveMismatch(String),
+}
+
+impl fmt::Display for CommError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CommError::DeadlockTimeout {
+                rank,
+                src,
+                tag,
+                waited,
+            } => write!(
+                f,
+                "rank {rank}: no message from src {src} tag {tag} after {waited:?} (deadlock?)"
+            ),
+            CommError::InvalidRank { rank, size } => {
+                write!(f, "rank {rank} outside communicator of size {size}")
+            }
+            CommError::SizeMismatch { expected, got } => {
+                write!(f, "message size mismatch: expected {expected}, got {got}")
+            }
+            CommError::PeerGone { peer } => write!(f, "peer rank {peer} is gone"),
+            CommError::CollectiveMismatch(m) => write!(f, "collective mismatch: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CommError {}
+
+/// Convenience alias.
+pub type CommResult<T> = Result<T, CommError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = CommError::DeadlockTimeout {
+            rank: 1,
+            src: 0,
+            tag: 7,
+            waited: Duration::from_secs(3),
+        };
+        assert!(e.to_string().contains("deadlock"));
+        assert!(CommError::InvalidRank { rank: 9, size: 4 }
+            .to_string()
+            .contains("size 4"));
+        assert!(CommError::SizeMismatch {
+            expected: 3,
+            got: 4
+        }
+        .to_string()
+        .contains("expected 3"));
+        assert!(CommError::PeerGone { peer: 2 }.to_string().contains("2"));
+        assert!(CommError::CollectiveMismatch("x".into())
+            .to_string()
+            .contains("x"));
+    }
+}

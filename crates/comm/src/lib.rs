@@ -1,0 +1,26 @@
+//! # agcm-comm — simulated MPI runtime + communication cost model
+//!
+//! A thread-backed message-passing runtime with MPI-like semantics
+//! (non-blocking buffered sends, tag matching, communicator contexts,
+//! collectives) plus per-rank traffic statistics and an α–β–γ cost model.
+//!
+//! Together these substitute for MPI-on-Tianhe-2 in the reproduction of
+//! Xiao et al. (ICPP 2018): the runtime executes the real data movement of
+//! the dynamical core at small rank counts (validated bit-for-bit against a
+//! serial reference), while the cost model converts the *same* per-rank
+//! traffic into predicted wall time at the paper's 128–1024 rank scales.
+//! See `DESIGN.md` §2 for the substitution argument.
+
+#![warn(missing_docs)]
+
+pub mod collective;
+pub mod error;
+pub mod model;
+pub mod runtime;
+pub mod stats;
+
+pub use collective::{AllreduceAlgo, ReduceOp};
+pub use error::{CommError, CommResult};
+pub use model::{p2p_only_delta, CostModel};
+pub use runtime::{Communicator, Universe};
+pub use stats::{CollectiveEvent, CollectiveKind, CommStats, StatsSnapshot};

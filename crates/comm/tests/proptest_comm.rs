@@ -1,0 +1,154 @@
+//! Property-based tests of the message-passing runtime's collectives
+//! against serial folds.
+
+use agcm_comm::{AllreduceAlgo, ReduceOp, Universe};
+use proptest::prelude::*;
+
+/// deterministic per-rank data for a given seed
+fn rank_data(seed: u64, rank: usize, n: usize) -> Vec<f64> {
+    let mut s = seed
+        .wrapping_mul(0x9E3779B97F4A7C15)
+        .wrapping_add(rank as u64 + 1);
+    (0..n)
+        .map(|_| {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((s >> 17) % 2001) as f64 - 1000.0
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// both allreduce algorithms equal the serial fold (up to FP
+    /// re-association) for any p and vector length.
+    #[test]
+    fn allreduce_equals_serial_fold(
+        p in 1usize..7,
+        n in 1usize..40,
+        seed in 0u64..10_000,
+        ring in proptest::bool::ANY,
+    ) {
+        let algo = if ring { AllreduceAlgo::Ring } else { AllreduceAlgo::RecursiveDoubling };
+        let expected: Vec<f64> = (0..n)
+            .map(|i| (0..p).map(|r| rank_data(seed, r, n)[i]).sum())
+            .collect();
+        let results = Universe::run(p, move |comm| {
+            let mut data = rank_data(seed, comm.rank(), n);
+            comm.allreduce(ReduceOp::Sum, &mut data, algo).unwrap();
+            data
+        });
+        for r in results {
+            for (a, b) in r.iter().zip(&expected) {
+                prop_assert!((a - b).abs() <= 1e-9 * (1.0 + b.abs()));
+            }
+        }
+    }
+
+    /// max/min reductions are exact (no rounding).
+    #[test]
+    fn allreduce_max_min_exact(p in 1usize..7, n in 1usize..20, seed in 0u64..10_000) {
+        let expected_max: Vec<f64> = (0..n)
+            .map(|i| (0..p).map(|r| rank_data(seed, r, n)[i]).fold(f64::MIN, f64::max))
+            .collect();
+        let results = Universe::run(p, move |comm| {
+            let mut mx = rank_data(seed, comm.rank(), n);
+            comm.allreduce(ReduceOp::Max, &mut mx, AllreduceAlgo::Ring).unwrap();
+            mx
+        });
+        for r in results {
+            prop_assert_eq!(&r, &expected_max);
+        }
+    }
+
+    /// allgather returns every rank's contribution in rank order, exactly.
+    #[test]
+    fn allgather_exact(p in 1usize..7, n in 1usize..16, seed in 0u64..10_000) {
+        let expected: Vec<f64> = (0..p).flat_map(|r| rank_data(seed, r, n)).collect();
+        let results = Universe::run(p, move |comm| {
+            comm.allgather(&rank_data(seed, comm.rank(), n)).unwrap()
+        });
+        for r in results {
+            prop_assert_eq!(&r, &expected);
+        }
+    }
+
+    /// exscan is the prefix of the allreduce: exscan[r] + own + suffix = total.
+    #[test]
+    fn exscan_prefix_property(p in 1usize..7, n in 1usize..12, seed in 0u64..10_000) {
+        let results = Universe::run(p, move |comm| {
+            let own = rank_data(seed, comm.rank(), n);
+            let mut pre = own.clone();
+            comm.exscan_sum(&mut pre).unwrap();
+            (own, pre)
+        });
+        for i in 0..n {
+            let mut running = 0.0;
+            for (own, pre) in &results {
+                prop_assert!((pre[i] - running).abs() <= 1e-9 * (1.0 + running.abs()));
+                running += own[i];
+            }
+        }
+    }
+
+    /// bcast distributes the root's data to everyone, from any root.
+    #[test]
+    fn bcast_any_root(p in 1usize..7, n in 1usize..16, seed in 0u64..10_000, root_pick in 0usize..8) {
+        let root = root_pick % p;
+        let expected = rank_data(seed, root, n);
+        let results = Universe::run(p, move |comm| {
+            let mut data = if comm.rank() == root {
+                rank_data(seed, root, n)
+            } else {
+                vec![0.0; n]
+            };
+            comm.bcast(root, &mut data).unwrap();
+            data
+        });
+        for r in results {
+            prop_assert_eq!(&r, &expected);
+        }
+    }
+
+    /// alltoallv is a transpose: recv[s][..] at rank r == send[r] at rank s.
+    #[test]
+    fn alltoall_transposes(p in 1usize..6, n in 1usize..8, seed in 0u64..10_000) {
+        let results = Universe::run(p, move |comm| {
+            let send: Vec<Vec<f64>> = (0..p)
+                .map(|d| rank_data(seed.wrapping_add(d as u64 * 977), comm.rank(), n))
+                .collect();
+            comm.alltoallv(&send).unwrap()
+        });
+        for (r, recv) in results.iter().enumerate() {
+            for (s, v) in recv.iter().enumerate() {
+                let want = rank_data(seed.wrapping_add(r as u64 * 977), s, n);
+                prop_assert_eq!(v, &want);
+            }
+        }
+    }
+
+    /// point-to-point messages are delivered unmodified in FIFO order per
+    /// (source, tag).
+    #[test]
+    fn p2p_fifo_per_tag(n_msgs in 1usize..10, seed in 0u64..10_000) {
+        let results = Universe::run(2, move |comm| {
+            if comm.rank() == 0 {
+                for m in 0..n_msgs {
+                    let data = rank_data(seed.wrapping_add(m as u64), 0, 4);
+                    comm.send(1, 7, &data).unwrap();
+                }
+                true
+            } else {
+                for m in 0..n_msgs {
+                    let got = comm.recv(0, 7).unwrap();
+                    let want = rank_data(seed.wrapping_add(m as u64), 0, 4);
+                    if got != want {
+                        return false;
+                    }
+                }
+                true
+            }
+        });
+        prop_assert!(results.into_iter().all(|b| b));
+    }
+}

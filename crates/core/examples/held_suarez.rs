@@ -1,0 +1,83 @@
+//! The Held–Suarez idealized dry test (§5.1 of the paper) — the benchmark
+//! the paper evaluates the dynamical core with.
+//!
+//! Starting from rest, the Newtonian heating builds an equator-to-pole
+//! temperature gradient; the Coriolis force turns the resulting meridional
+//! circulation into westerly mid-latitude jets over O(100) model days.
+//! The example integrates a configurable number of steps (default 60 — the
+//! early thermally-driven spin-up) and prints the zonal-mean zonal wind by
+//! latitude band, the classic H-S diagnostic.  Pass a few thousand steps to
+//! watch the hemispheric jets emerge.
+//!
+//! ```text
+//! cargo run -p agcm-core --release --example held_suarez -- [steps]
+//! ```
+
+use agcm_core::diagnostics::local_budget;
+use agcm_core::serial::{Iteration, SerialModel};
+use agcm_core::ModelConfig;
+
+fn main() {
+    let steps: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(60);
+
+    let mut cfg = ModelConfig::test_medium();
+    cfg.nx = 32;
+    cfg.ny = 24;
+    cfg.nz = 10;
+    cfg.dt1 = 60.0;
+    cfg.dt2 = 600.0;
+    cfg.held_suarez = true;
+
+    let mut model = SerialModel::new(&cfg, Iteration::Exact).expect("valid configuration");
+    println!(
+        "Held-Suarez dry test on {}x{}x{}; {} steps of {}s ({:.1} model days)",
+        cfg.nx,
+        cfg.ny,
+        cfg.nz,
+        steps,
+        cfg.dt2,
+        steps as f64 * cfg.dt2 / 86400.0
+    );
+
+    for s in 1..=steps {
+        model.step();
+        if s % (steps / 6).max(1) == 0 {
+            let b = local_budget(model.geom(), &model.state);
+            println!(
+                "  step {s:4}: kinetic {:10.3e}  potential {:10.3e}  max|U| {:7.3}",
+                b.kinetic,
+                b.potential,
+                model.state.u.max_abs()
+            );
+        }
+    }
+    assert!(!model.state.has_nan(), "solution must stay finite");
+
+    // zonal-mean zonal wind at the mid-troposphere, physical units:
+    // u = U/P with P ≈ 1 at rest
+    println!("\nzonal-mean u(θ) at σ ≈ 0.5 (positive = westerly):");
+    let geom = model.geom();
+    let kmid = (geom.nz / 2) as isize;
+    for j in 0..geom.ny as isize {
+        let mean: f64 = (0..geom.nx as isize)
+            .map(|i| model.state.u.get(i, j, kmid))
+            .sum::<f64>()
+            / geom.nx as f64;
+        let lat = geom.grid.latitude(j as usize).to_degrees();
+        let bar_len = (mean.abs() * 4.0).min(40.0) as usize;
+        let bar: String = std::iter::repeat(if mean >= 0.0 { '>' } else { '<' })
+            .take(bar_len)
+            .collect();
+        println!("  {lat:6.1}°  {mean:8.3} m/s  {bar}");
+    }
+
+    let b = local_budget(model.geom(), &model.state);
+    println!(
+        "\nfinal budget: E = {:.4e} (kinetic {:.1}%)",
+        b.energy(),
+        100.0 * b.kinetic / b.energy().max(1e-300)
+    );
+}

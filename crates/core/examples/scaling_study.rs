@@ -1,0 +1,62 @@
+//! Strong-scaling study on the paper's 50 km mesh (720 × 360 × 30) using
+//! the calibrated Tianhe-2 cost model: the three algorithm/decomposition
+//! pairings of Figures 6–8 at 128–1024 ranks.
+//!
+//! ```text
+//! cargo run -p agcm-core --release --example scaling_study
+//! ```
+
+use agcm_comm::CostModel;
+use agcm_core::analysis::{ca_group_size, predict_step_mode, AlgKind, CaMode};
+use agcm_core::ModelConfig;
+use agcm_mesh::ProcessGrid;
+
+fn main() {
+    let cfg = ModelConfig::paper_50km();
+    let model = CostModel::tianhe2();
+    println!(
+        "strong scaling of one dynamical-core step, {}x{}x{} mesh, machine '{}'",
+        cfg.nx, cfg.ny, cfg.nz, model.name
+    );
+    println!(
+        "{:>6} {:>16} {:>12} {:>12} {:>12} {:>12} {:>8}",
+        "p", "algorithm", "stencil ms", "collect ms", "compute ms", "total ms", "vs XY"
+    );
+    for p in [128usize, 256, 512, 1024] {
+        let pz = 8.min(p / 16).max(2);
+        let py = p / pz;
+        let pg_yz = ProcessGrid::yz(py, pz).unwrap();
+        let px = 16.min(p / 8).max(2);
+        let pg_xy = ProcessGrid::xy(px, p / px).unwrap();
+        let xy = predict_step_mode(&cfg, AlgKind::OriginalXY, pg_xy, &model, CaMode::Grouped);
+        let runs = [
+            ("original X-Y", AlgKind::OriginalXY, pg_xy),
+            ("original Y-Z", AlgKind::OriginalYZ, pg_yz),
+            ("comm-avoiding", AlgKind::CommAvoiding, pg_yz),
+        ];
+        for (name, alg, pg) in runs {
+            let c = predict_step_mode(&cfg, alg, pg, &model, CaMode::Grouped);
+            println!(
+                "{p:>6} {name:>16} {:>12.2} {:>12.2} {:>12.2} {:>12.2} {:>7.0}%",
+                c.stencil_comm_s * 1e3,
+                c.collective_comm_s * 1e3,
+                c.compute_s * 1e3,
+                c.total_s() * 1e3,
+                100.0 * (1.0 - c.total_s() / xy.total_s()),
+            );
+        }
+        let (g, fuse, ga) = ca_group_size(&cfg, &pg_yz);
+        println!(
+            "        CA sweep groups at p = {p}: adaptation g = {g} \
+             ({} exchanges), advection g = {ga}, smoothing {}",
+            (3 * cfg.m_iters).div_ceil(g),
+            if fuse { "fused" } else { "separate" }
+        );
+    }
+    println!(
+        "\nThe paper reports up to a 54% total-runtime reduction of the \
+         communication-avoiding algorithm\nagainst the X-Y original at \
+         p = 512, and a 1.4x average speedup against the Y-Z original —\n\
+         compare the 'vs XY' column and the Y-Z/CA ratio above."
+    );
+}

@@ -1,0 +1,319 @@
+//! The advection tendency `L̃(ξ) = −Σ_m L_m` (Eq. 3).
+//!
+//! `L₁`/`L₂` are the horizontal advection terms and `L₃` the vertical
+//! convection term, in the IAP "2F′ − F" flux/advective blend
+//!
+//! ```text
+//! L₁(F) = 1/(2a sinθ) (2 ∂(Fu)/∂λ − F ∂u/∂λ)
+//! L₂(F) = 1/(2a sinθ) (2 ∂(Fv sinθ)/∂θ − F ∂(v sinθ)/∂θ)
+//! L₃(F) = 1/2 (2 ∂(Fσ̇)/∂σ − F ∂σ̇/∂σ)
+//! ```
+//!
+//! whose antisymmetry is what conserves the transformed quadratic energy.
+//! The discretization is second-order with fluxes at the staggered
+//! half-points, giving reads inside the Table 2 footprints.  The vertical
+//! velocity `σ̇` comes from the `g_w` diagnostic of the **last** `C`
+//! application of the adaptation process — the advection process itself
+//! runs no collective, exactly as the operator form `(F L)³` requires.
+
+use crate::diag::Diag;
+use crate::geometry::{LocalGeometry, Region};
+use crate::state::State;
+use agcm_mesh::grid::constants as c;
+
+const SIN_EPS: f64 = 1e-12;
+
+/// Compute the advection tendency of `arg` into `tend` over `region`.
+///
+/// Preconditions: `arg` halos valid one row/level beyond `region`,
+/// `diag.pes`/`cap_p` on `region ⊕ 1` rows, and `diag.gw` valid on `region`
+/// (frozen from the adaptation process; exchanged alongside ξ by the CA
+/// algorithm's advection message).  `tend.psa` is set to zero — the paper's
+/// `L̃` has a zero fourth component.
+pub fn advection_tendency(
+    geom: &LocalGeometry,
+    arg: &State,
+    diag: &Diag,
+    tend: &mut State,
+    region: Region,
+) {
+    let nx = geom.nx as isize;
+    let a = c::EARTH_RADIUS;
+    let dl = geom.dlambda();
+    let dt = geom.dtheta();
+
+    // physical velocities: u = U/P at U points, v = V/P at V points
+    let u_at = |i: isize, j: isize, k: isize| {
+        arg.u.get(i, j, k) / (0.5 * (diag.cap_p.get(i - 1, j) + diag.cap_p.get(i, j)))
+    };
+    let v_at = |i: isize, j: isize, k: isize| {
+        arg.v.get(i, j, k) / (0.5 * (diag.cap_p.get(i, j) + diag.cap_p.get(i, j + 1)))
+    };
+    // σ̇ at the interface below centre k of the scalar column (i, j)
+    let sdot_at = |i: isize, j: isize, k: isize| {
+        let pes = diag.pes.get(i, j);
+        diag.gw.get(i, j, k) * c::P_REF / pes
+    };
+
+    for k in region.z0..region.z1 {
+        let ds = geom.dsigma(k);
+        for j in region.y0..region.y1 {
+            let s_c = geom.sin_c(j);
+            let s_v = geom.sin_v(j);
+            for i in 0..nx {
+                // =============== U (at U point i-1/2, j, k) ===============
+                {
+                    let f = arg.u.get(i, j, k);
+                    // --- L1: u-advection along λ; cell centres i-1, i are
+                    //     the half-points of the U grid ---
+                    let uc_e = 0.5 * (u_at(i, j, k) + u_at(i + 1, j, k)); // centre i
+                    let uc_w = 0.5 * (u_at(i - 1, j, k) + u_at(i, j, k)); // centre i-1
+                    let fc_e = 0.5 * (arg.u.get(i, j, k) + arg.u.get(i + 1, j, k));
+                    let fc_w = 0.5 * (arg.u.get(i - 1, j, k) + arg.u.get(i, j, k));
+                    let l1 = (2.0 * (fc_e * uc_e - fc_w * uc_w) - f * (uc_e - uc_w))
+                        / (2.0 * a * s_c * dl);
+                    // --- L2: v sinθ advection along θ; faces j, j-1 at the
+                    //     U point's longitude ---
+                    let vs_s = 0.5 * (v_at(i - 1, j, k) + v_at(i, j, k)) * geom.sin_v(j);
+                    let vs_n = 0.5 * (v_at(i - 1, j - 1, k) + v_at(i, j - 1, k)) * geom.sin_v(j - 1);
+                    let ff_s = 0.5 * (arg.u.get(i, j, k) + arg.u.get(i, j + 1, k));
+                    let ff_n = 0.5 * (arg.u.get(i, j - 1, k) + arg.u.get(i, j, k));
+                    let l2 = (2.0 * (ff_s * vs_s - ff_n * vs_n) - f * (vs_s - vs_n))
+                        / (2.0 * a * s_c * dt);
+                    // --- L3: σ̇ advection; interfaces k∓1/2 at the U point ---
+                    let sd_lo = 0.5 * (sdot_at(i - 1, j, k) + sdot_at(i, j, k));
+                    let sd_hi = 0.5 * (sdot_at(i - 1, j, k + 1) + sdot_at(i, j, k + 1));
+                    let fk_lo = 0.5 * (arg.u.get(i, j, k - 1) + arg.u.get(i, j, k));
+                    let fk_hi = 0.5 * (arg.u.get(i, j, k) + arg.u.get(i, j, k + 1));
+                    let l3 = (2.0 * (fk_hi * sd_hi - fk_lo * sd_lo) - f * (sd_hi - sd_lo))
+                        / (2.0 * ds);
+                    tend.u.set(i, j, k, -(l1 + l2 + l3));
+                }
+                // =============== V (at V point i, j+1/2, k) ===============
+                {
+                    if s_v < SIN_EPS {
+                        tend.v.set(i, j, k, 0.0);
+                    } else {
+                        let f = arg.v.get(i, j, k);
+                        // L1 along λ: x-faces of the V point are at i∓1/2,
+                        // where u is averaged from rows j and j+1
+                        let ux_e = 0.5 * (u_at(i + 1, j, k) + u_at(i + 1, j + 1, k));
+                        let ux_w = 0.5 * (u_at(i, j, k) + u_at(i, j + 1, k));
+                        let fx_e = 0.5 * (arg.v.get(i, j, k) + arg.v.get(i + 1, j, k));
+                        let fx_w = 0.5 * (arg.v.get(i - 1, j, k) + arg.v.get(i, j, k));
+                        let l1 = (2.0 * (fx_e * ux_e - fx_w * ux_w) - f * (ux_e - ux_w))
+                            / (2.0 * a * s_v * dl);
+                        // L2 along θ: scalar rows j, j+1 are the half-points.
+                        // v there divides by the *collocated* P (the scalar
+                        // row's own value), keeping the read depth at the
+                        // j±1 of Table 2's L2(V) row.
+                        let vs_s = 0.5 * (arg.v.get(i, j, k) + arg.v.get(i, j + 1, k))
+                            / diag.cap_p.get(i, j + 1)
+                            * geom.sin_c(j + 1);
+                        let vs_n = 0.5 * (arg.v.get(i, j - 1, k) + arg.v.get(i, j, k))
+                            / diag.cap_p.get(i, j)
+                            * geom.sin_c(j);
+                        let ff_s = 0.5 * (arg.v.get(i, j, k) + arg.v.get(i, j + 1, k));
+                        let ff_n = 0.5 * (arg.v.get(i, j - 1, k) + arg.v.get(i, j, k));
+                        let l2 = (2.0 * (ff_s * vs_s - ff_n * vs_n) - f * (vs_s - vs_n))
+                            / (2.0 * a * s_v * dt);
+                        // L3: σ̇ at V point interfaces
+                        let sd_lo = 0.5 * (sdot_at(i, j, k) + sdot_at(i, j + 1, k));
+                        let sd_hi = 0.5 * (sdot_at(i, j, k + 1) + sdot_at(i, j + 1, k + 1));
+                        let fk_lo = 0.5 * (arg.v.get(i, j, k - 1) + arg.v.get(i, j, k));
+                        let fk_hi = 0.5 * (arg.v.get(i, j, k) + arg.v.get(i, j, k + 1));
+                        let l3 = (2.0 * (fk_hi * sd_hi - fk_lo * sd_lo) - f * (sd_hi - sd_lo))
+                            / (2.0 * ds);
+                        tend.v.set(i, j, k, -(l1 + l2 + l3));
+                    }
+                }
+                // =============== Φ (at cell centre i, j, k) ===============
+                {
+                    let f = arg.phi.get(i, j, k);
+                    // L1: x-faces are the U points i, i+1
+                    let u_e = u_at(i + 1, j, k);
+                    let u_w = u_at(i, j, k);
+                    let fx_e = 0.5 * (arg.phi.get(i, j, k) + arg.phi.get(i + 1, j, k));
+                    let fx_w = 0.5 * (arg.phi.get(i - 1, j, k) + arg.phi.get(i, j, k));
+                    let l1 =
+                        (2.0 * (fx_e * u_e - fx_w * u_w) - f * (u_e - u_w)) / (2.0 * a * s_c * dl);
+                    // L2: y-faces are the V points j-1, j
+                    let v_s = v_at(i, j, k) * geom.sin_v(j);
+                    let v_n = v_at(i, j - 1, k) * geom.sin_v(j - 1);
+                    let fy_s = 0.5 * (arg.phi.get(i, j, k) + arg.phi.get(i, j + 1, k));
+                    let fy_n = 0.5 * (arg.phi.get(i, j - 1, k) + arg.phi.get(i, j, k));
+                    let l2 =
+                        (2.0 * (fy_s * v_s - fy_n * v_n) - f * (v_s - v_n)) / (2.0 * a * s_c * dt);
+                    // L3: interfaces of the scalar column
+                    let sd_lo = sdot_at(i, j, k);
+                    let sd_hi = sdot_at(i, j, k + 1);
+                    let fk_lo = 0.5 * (arg.phi.get(i, j, k - 1) + arg.phi.get(i, j, k));
+                    let fk_hi = 0.5 * (arg.phi.get(i, j, k) + arg.phi.get(i, j, k + 1));
+                    let l3 = (2.0 * (fk_hi * sd_hi - fk_lo * sd_lo) - f * (sd_hi - sd_lo))
+                        / (2.0 * ds);
+                    tend.phi.set(i, j, k, -(l1 + l2 + l3));
+                }
+            }
+        }
+    }
+    // L̃'s fourth component is zero
+    for j in region.y0..region.y1 {
+        for i in 0..nx {
+            tend.psa.set(i, j, 0.0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::boundary;
+    use crate::config::ModelConfig;
+    use crate::stdatm::StandardAtmosphere;
+    use crate::vertical::{apply_c, ZContext};
+    use agcm_mesh::{Decomposition, HaloWidths, ProcessGrid};
+    use std::sync::Arc;
+
+    struct Setup {
+        geom: LocalGeometry,
+        sa: StandardAtmosphere,
+        state: State,
+        diag: Diag,
+    }
+
+    fn setup() -> Setup {
+        let cfg = ModelConfig::test_small();
+        let grid = Arc::new(cfg.grid().unwrap());
+        let d = Decomposition::new(cfg.extents(), ProcessGrid::serial()).unwrap();
+        let geom = LocalGeometry::new(&cfg, Arc::clone(&grid), &d, 0, HaloWidths::uniform(3));
+        let sa = StandardAtmosphere::new(&grid);
+        let state = State::new(geom.nx, geom.ny, geom.nz, geom.halo);
+        let diag = Diag::new(&geom);
+        Setup {
+            geom,
+            sa,
+            state,
+            diag,
+        }
+    }
+
+    fn run_tendency(s: &mut Setup) -> State {
+        boundary::enforce_pole_v(&mut s.state, &s.geom);
+        boundary::fill_boundaries(&mut s.state, &s.geom);
+        let region = s.geom.interior();
+        s.diag
+            .update_surface(&s.geom, &s.sa, &s.state, region.y0 - 1, region.y1 + 1);
+        // σ̇ diagnostics from the adaptation's C operator
+        apply_c(&s.geom, &s.sa, &s.state, &mut s.diag, region, &ZContext::Serial, true).unwrap();
+        let mut tend = State::like(&s.state);
+        advection_tendency(&s.geom, &s.state, &s.diag, &mut tend, region);
+        tend
+    }
+
+    #[test]
+    fn rest_state_is_stationary() {
+        let mut s = setup();
+        let tend = run_tendency(&mut s);
+        assert_eq!(tend.max_abs(), 0.0);
+    }
+
+    #[test]
+    fn psa_component_is_zero() {
+        let mut s = setup();
+        for k in 0..s.geom.nz as isize {
+            for j in 0..s.geom.ny as isize {
+                for i in 0..s.geom.nx as isize {
+                    s.state.u.set(i, j, k, (i as f64 * 0.5).sin() * 5.0);
+                    s.state.phi.set(i, j, k, (i as f64 * 0.9).cos() * 10.0);
+                }
+            }
+        }
+        let tend = run_tendency(&mut s);
+        assert_eq!(tend.psa.max_abs(), 0.0, "L̃ has no surface-pressure part");
+    }
+
+    #[test]
+    fn zonal_advection_direction() {
+        // uniform eastward u carrying a Φ bump: tendency at the bump's
+        // eastern flank is positive (bump moves east)
+        let mut s = setup();
+        let nx = s.geom.nx as isize;
+        for k in 0..s.geom.nz as isize {
+            for j in 0..s.geom.ny as isize {
+                for i in 0..nx {
+                    s.state.u.set(i, j, k, 20.0);
+                    let x = (i - 8) as f64;
+                    s.state.phi.set(i, j, k, 30.0 * (-x * x / 4.0).exp());
+                }
+            }
+        }
+        let tend = run_tendency(&mut s);
+        let jm = s.geom.ny as isize / 2;
+        assert!(tend.phi.get(10, jm, 1) > 0.0, "east flank grows");
+        assert!(tend.phi.get(6, jm, 1) < 0.0, "west flank shrinks");
+    }
+
+    #[test]
+    fn uniform_field_unaffected_by_nondivergent_flow() {
+        // If Φ is constant and the flow has no divergence, L(Φ) must vanish
+        // identically (2∂(Fu) − F∂u = F·∂u when F const → (2-1)F·div).
+        // Use a purely zonal, y-independent u: divergence free on the sphere
+        // sections where u is x-constant.
+        let mut s = setup();
+        for k in 0..s.geom.nz as isize {
+            for j in 0..s.geom.ny as isize {
+                for i in 0..s.geom.nx as isize {
+                    s.state.u.set(i, j, k, 15.0);
+                    s.state.phi.set(i, j, k, 42.0);
+                }
+            }
+        }
+        let tend = run_tendency(&mut s);
+        // u = U/P is x-constant → ∂u/∂λ = 0 → L1(Φ) = 0; v = 0, σ̇ = 0
+        for j in 1..s.geom.ny as isize - 1 {
+            for i in 0..s.geom.nx as isize {
+                assert!(
+                    tend.phi.get(i, j, 1).abs() < 1e-12,
+                    "L(const Φ) ≠ 0 at ({i},{j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn advection_conserves_quadratic_energy() {
+        // the 2F'−F form is antisymmetric: Σ F·L(F)·w ≈ 0 (up to boundary
+        // and discretization corrections).  Verify the energy change of a
+        // forward-Euler step is second order in Δt.
+        let mut s = setup();
+        for k in 0..s.geom.nz as isize {
+            for j in 0..s.geom.ny as isize {
+                for i in 0..s.geom.nx as isize {
+                    let x = i as f64 / s.geom.nx as f64 * std::f64::consts::TAU;
+                    s.state.u.set(i, j, k, 10.0 + 3.0 * (x * 2.0).sin());
+                    s.state.phi.set(i, j, k, 20.0 * (x * 3.0).cos());
+                }
+            }
+        }
+        let tend = run_tendency(&mut s);
+        let energy = |st: &State, geom: &LocalGeometry| {
+            let mut e = 0.0;
+            for k in 0..geom.nz as isize {
+                for j in 0..geom.ny as isize {
+                    let w = geom.sin_c(j) * geom.dsigma(k);
+                    for i in 0..geom.nx as isize {
+                        e += w * (st.u.get(i, j, k).powi(2) + st.phi.get(i, j, k).powi(2));
+                    }
+                }
+            }
+            e
+        };
+        let e0 = energy(&s.state, &s.geom);
+        let dt = 5.0;
+        let mut next = State::like(&s.state);
+        next.lincomb(&s.state, dt, &tend);
+        let e1 = energy(&next, &s.geom);
+        let drift = (e1 - e0).abs() / e0;
+        assert!(drift < 0.02, "energy drift {drift} too large");
+    }
+}

@@ -1,0 +1,110 @@
+//! Model configuration.
+
+use agcm_mesh::{LatLonGrid, MeshError};
+
+/// Configuration of one dynamical-core run.
+///
+/// Defaults follow the paper's evaluation setup (§5.1): `M = 3` nonlinear
+/// iterations per step, adaptation sub-step `Δt₁` much smaller than the
+/// advection step `Δt₂`, Fourier filtering poleward of 70°, and Held–Suarez
+/// forcing for the idealized dry test.
+#[derive(Debug, Clone)]
+pub struct ModelConfig {
+    /// Longitude points.
+    pub nx: usize,
+    /// Latitude rows.
+    pub ny: usize,
+    /// Vertical σ levels.
+    pub nz: usize,
+    /// Adaptation (gravity-wave) sub-step `Δt₁` \[s\].
+    pub dt1: f64,
+    /// Advection step `Δt₂` \[s\] (`Δt₁ ≪ Δt₂`).
+    pub dt2: f64,
+    /// Number of nonlinear iterations `M` of the adaptation process per step.
+    pub m_iters: usize,
+    /// Critical latitude of the Fourier polar filter \[degrees\].
+    pub filter_cutoff_deg: f64,
+    /// Smoothing strength `β` of the `P₁`/`P₂` operators (0 disables).
+    pub smooth_beta: f64,
+    /// Apply Held–Suarez forcing each step (the H-S benchmark of §5.1).
+    pub held_suarez: bool,
+}
+
+impl ModelConfig {
+    /// The paper's 50 km evaluation configuration
+    /// (`n_x × n_y × n_z = 720 × 360 × 30`, `M = 3`).
+    pub fn paper_50km() -> Self {
+        ModelConfig {
+            nx: 720,
+            ny: 360,
+            nz: 30,
+            dt1: 60.0,
+            dt2: 600.0,
+            m_iters: 3,
+            filter_cutoff_deg: 70.0,
+            smooth_beta: 0.1,
+            held_suarez: true,
+        }
+    }
+
+    /// A small configuration for tests: coarse mesh, short steps.
+    pub fn test_small() -> Self {
+        ModelConfig {
+            nx: 16,
+            ny: 10,
+            nz: 4,
+            dt1: 20.0,
+            dt2: 200.0,
+            m_iters: 3,
+            filter_cutoff_deg: 60.0,
+            smooth_beta: 0.1,
+            held_suarez: false,
+        }
+    }
+
+    /// A slightly larger configuration exercising deeper decompositions.
+    pub fn test_medium() -> Self {
+        ModelConfig {
+            nx: 24,
+            ny: 16,
+            nz: 8,
+            dt1: 20.0,
+            dt2: 200.0,
+            m_iters: 3,
+            filter_cutoff_deg: 60.0,
+            smooth_beta: 0.1,
+            held_suarez: false,
+        }
+    }
+
+    /// Build the global grid of this configuration.
+    pub fn grid(&self) -> Result<LatLonGrid, MeshError> {
+        LatLonGrid::new(self.nx, self.ny, self.nz)
+    }
+
+    /// Mesh extents `(nx, ny, nz)`.
+    pub fn extents(&self) -> (usize, usize, usize) {
+        (self.nx, self.ny, self.nz)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_matches_evaluation_section() {
+        let c = ModelConfig::paper_50km();
+        assert_eq!(c.extents(), (720, 360, 30));
+        assert_eq!(c.m_iters, 3);
+        assert!(c.dt1 < c.dt2, "Δt₁ ≪ Δt₂");
+        assert!(c.held_suarez);
+        assert!(c.grid().is_ok());
+    }
+
+    #[test]
+    fn test_configs_are_valid() {
+        assert!(ModelConfig::test_small().grid().is_ok());
+        assert!(ModelConfig::test_medium().grid().is_ok());
+    }
+}

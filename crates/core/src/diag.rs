@@ -1,0 +1,270 @@
+//! Diagnostic fields derived from the prognostic state.
+//!
+//! One [`Diag`] buffer is reused across sweeps; each operator application
+//! recomputes the pieces it needs on the region it targets.  The split
+//! follows the paper's operator decomposition:
+//!
+//! * `pes`, `cap_p` — pointwise surface diagnostics (`p_es = p̃_es + p'_sa`,
+//!   `P = √(p_es/p₀)`),
+//! * `dsa`, `dp` — the horizontal stencil terms `D_sa` and `D(P)` of
+//!   Table 1 (local computation),
+//! * `vsum`, `gw`, `phi_p` — the outputs of the **collective operator `C`**
+//!   (vertical sum, the continuity mass flux `σ̇·p_es/p₀` at interfaces, and
+//!   the hydrostatic geopotential deviation `φ'`), produced in
+//!   [`crate::vertical`].
+
+use crate::geometry::LocalGeometry;
+use crate::state::State;
+use crate::stdatm::StandardAtmosphere;
+use agcm_mesh::grid::constants as c;
+use agcm_mesh::{Field2, Field3};
+
+/// Scratch diagnostics for one rank.
+#[derive(Debug, Clone)]
+pub struct Diag {
+    /// `p_es = p̃_es + p'_sa` (2-D).
+    pub pes: Field2,
+    /// `P = √(p_es/p₀)` (2-D).
+    pub cap_p: Field2,
+    /// `D_sa` — surface-pressure diffusion (2-D).
+    pub dsa: Field2,
+    /// `D(P)` — transformed mass divergence (3-D).
+    pub dp: Field3,
+    /// `Σ_k Δσ_k D(P)` over **all** global levels (2-D, from the collective).
+    pub vsum: Field2,
+    /// `g_w = σ̇·p_es/p₀` at interfaces: entry `k` holds interface `k−1/2`
+    /// (3-D with `nz+1` levels).
+    pub gw: Field3,
+    /// Geopotential deviation `φ'` at level centres (3-D).
+    pub phi_p: Field3,
+}
+
+impl Diag {
+    /// Allocate diagnostics matching the shape of `geom`'s state fields.
+    pub fn new(geom: &LocalGeometry) -> Self {
+        let (nx, ny, nz) = (geom.nx, geom.ny, geom.nz);
+        let h = geom.halo;
+        Diag {
+            pes: Field2::new(nx, ny, h),
+            cap_p: Field2::new(nx, ny, h),
+            dsa: Field2::new(nx, ny, h),
+            dp: Field3::new(nx, ny, nz, h),
+            vsum: Field2::new(nx, ny, h),
+            gw: Field3::new(nx, ny, nz + 1, h),
+            phi_p: Field3::new(nx, ny, nz, h),
+        }
+    }
+
+    /// Compute `p_es` and `P` from `p'_sa` on rows `[y0, y1)`, over the
+    /// full x range *including the x halo* (pointwise — `p'_sa`'s x halo is
+    /// valid by wrap or exchange, so the surface diagnostics need neither).
+    pub fn update_surface(
+        &mut self,
+        geom: &LocalGeometry,
+        stdatm: &StandardAtmosphere,
+        state: &State,
+        y0: isize,
+        y1: isize,
+    ) {
+        let x0 = -(geom.halo.xm as isize);
+        let x1 = geom.nx as isize + geom.halo.xp as isize;
+        for j in y0..y1 {
+            for i in x0..x1 {
+                let pes = stdatm.pes_tilde + state.psa.get(i, j);
+                debug_assert!(pes > 0.0, "p_es must stay positive");
+                self.pes.set(i, j, pes);
+                self.cap_p.set(i, j, (pes / c::P_REF).sqrt());
+            }
+        }
+    }
+
+    /// Compute `D_sa = ∇·(ρ̃_sa k_sa ∇(p'_sa/(ρ̃_sa p₀)))` (Eq. 6) on rows
+    /// `[y0, y1)`.  With constant `ρ̃_sa` this is `k_sa/p₀` times the
+    /// spherical Laplacian of `p'_sa` — a 5-point stencil (Table 1's `D_sa`
+    /// row: x: i, i±1; y: j, j±1).
+    pub fn update_dsa(&mut self, geom: &LocalGeometry, state: &State, y0: isize, y1: isize) {
+        let nx = geom.nx as isize;
+        let a = c::EARTH_RADIUS;
+        let dl = geom.dlambda();
+        let dt = geom.dtheta();
+        let coef = c::K_SA / c::P_REF;
+        for j in y0..y1 {
+            let s = geom.sin_c(j);
+            let s_n = geom.sin_v(j - 1); // face between j-1 and j
+            let s_s = geom.sin_v(j); // face between j and j+1
+            for i in 0..nx {
+                let q = state.psa.get(i, j);
+                let d2x = (state.psa.get(i + 1, j) - 2.0 * q + state.psa.get(i - 1, j))
+                    / (dl * dl * s * s);
+                let dyn_ = (state.psa.get(i, j + 1) - q) * s_s - (q - state.psa.get(i, j - 1)) * s_n;
+                let d2y = dyn_ / (dt * dt * s);
+                self.dsa.set(i, j, coef * (d2x + d2y) / (a * a));
+            }
+        }
+    }
+
+    /// Compute the transformed divergence
+    /// `D(P) = (1/(a sin θ)) [∂(PU)/∂λ + ∂(PV sin θ)/∂θ]`
+    /// on rows `[y0, y1)` and levels `[z0, z1)` — the C-grid flux form whose
+    /// reads sit inside Table 1's `D(P)` footprint.  `xe` extends the x
+    /// range into the halo (used by X-Y decompositions, where the x halo is
+    /// exchanged rather than wrapped).
+    #[allow(clippy::too_many_arguments)]
+    pub fn update_dp(
+        &mut self,
+        geom: &LocalGeometry,
+        state: &State,
+        y0: isize,
+        y1: isize,
+        z0: isize,
+        z1: isize,
+        xe: isize,
+    ) {
+        let a = c::EARTH_RADIUS;
+        let dl = geom.dlambda();
+        let dt = geom.dtheta();
+        let (x0, x1) = (-xe, geom.nx as isize + xe);
+        for k in z0..z1 {
+            for j in y0..y1 {
+                let s = geom.sin_c(j);
+                let sv_n = geom.sin_v(j - 1);
+                let sv_s = geom.sin_v(j);
+                for i in x0..x1 {
+                    // PU at x faces i∓1/2 (U index i, i+1)
+                    let pu_w = state.u.get(i, j, k)
+                        * 0.5
+                        * (self.cap_p.get(i - 1, j) + self.cap_p.get(i, j));
+                    let pu_e = state.u.get(i + 1, j, k)
+                        * 0.5
+                        * (self.cap_p.get(i, j) + self.cap_p.get(i + 1, j));
+                    // PV·sinθ at y faces j∓1/2 (V index j-1, j)
+                    let pv_n = state.v.get(i, j - 1, k)
+                        * 0.5
+                        * (self.cap_p.get(i, j - 1) + self.cap_p.get(i, j))
+                        * sv_n;
+                    let pv_s = state.v.get(i, j, k)
+                        * 0.5
+                        * (self.cap_p.get(i, j) + self.cap_p.get(i, j + 1))
+                        * sv_s;
+                    let div = ((pu_e - pu_w) / dl + (pv_s - pv_n) / dt) / (a * s);
+                    self.dp.set(i, j, k, div);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModelConfig;
+    use crate::boundary;
+    use agcm_mesh::{Decomposition, HaloWidths, ProcessGrid};
+    use std::sync::Arc;
+
+    fn setup() -> (LocalGeometry, StandardAtmosphere, State, Diag) {
+        let cfg = ModelConfig::test_small();
+        let grid = Arc::new(cfg.grid().unwrap());
+        let d = Decomposition::new(cfg.extents(), ProcessGrid::serial()).unwrap();
+        let geom = LocalGeometry::new(&cfg, Arc::clone(&grid), &d, 0, HaloWidths::uniform(3));
+        let sa = StandardAtmosphere::new(&grid);
+        let state = State::new(geom.nx, geom.ny, geom.nz, geom.halo);
+        let diag = Diag::new(&geom);
+        (geom, sa, state, diag)
+    }
+
+    #[test]
+    fn surface_diag_of_rest_state() {
+        let (geom, sa, state, mut diag) = setup();
+        diag.update_surface(&geom, &sa, &state, 0, geom.ny as isize);
+        // p'_sa = 0 → p_es = p̃_es, P = √(p̃_es/p₀) slightly below 1
+        let p = diag.cap_p.get(3, 3);
+        assert!((diag.pes.get(3, 3) - sa.pes_tilde).abs() < 1e-9);
+        assert!(p < 1.0 && p > 0.99);
+        // x halo wrapped
+        assert_eq!(diag.pes.get(-1, 2), diag.pes.get(geom.nx as isize - 1, 2));
+    }
+
+    #[test]
+    fn dsa_is_zero_for_constant_psa_and_negative_for_peak() {
+        let (geom, sa, mut state, mut diag) = setup();
+        let ny = geom.ny as isize;
+        // constant p'_sa → Laplacian 0
+        for j in 0..ny {
+            for i in 0..geom.nx as isize {
+                state.psa.set(i, j, 50.0);
+            }
+        }
+        boundary::fill_boundaries(&mut state, &geom);
+        diag.update_surface(&geom, &sa, &state, 0, ny);
+        diag.update_dsa(&geom, &state, 0, ny);
+        for j in 0..ny {
+            for i in 0..geom.nx as isize {
+                assert!(diag.dsa.get(i, j).abs() < 1e-18, "({i},{j})");
+            }
+        }
+        // a single positive bump diffuses down: D_sa < 0 at the peak
+        state.psa.set(8, 5, 150.0);
+        boundary::fill_boundaries(&mut state, &geom);
+        diag.update_dsa(&geom, &state, 0, ny);
+        assert!(diag.dsa.get(8, 5) < 0.0);
+        assert!(diag.dsa.get(7, 5) > 0.0, "neighbours gain mass");
+    }
+
+    #[test]
+    fn dp_zero_for_rest_and_sign_for_divergent_flow() {
+        let (geom, sa, mut state, mut diag) = setup();
+        let (nx, ny) = (geom.nx as isize, geom.ny as isize);
+        boundary::fill_boundaries(&mut state, &geom);
+        diag.update_surface(&geom, &sa, &state, -1, ny + 1);
+        diag.update_dp(&geom, &state, 0, ny, 0, geom.nz as isize, 0);
+        for j in 0..ny {
+            for i in 0..nx {
+                assert_eq!(diag.dp.get(i, j, 0), 0.0);
+            }
+        }
+        // a lone positive U at face i=5 creates divergence at i=4, conv at 5
+        state.u.set(5, 4, 1, 10.0);
+        boundary::fill_boundaries(&mut state, &geom);
+        diag.update_dp(&geom, &state, 0, ny, 0, geom.nz as isize, 0);
+        assert!(diag.dp.get(4, 4, 1) > 0.0);
+        assert!(diag.dp.get(5, 4, 1) < 0.0);
+        assert_eq!(diag.dp.get(4, 4, 0), 0.0, "other levels untouched");
+    }
+
+    #[test]
+    fn dp_conserves_global_mass_weighted_sum() {
+        // flux-form divergence: Σ_ij D(P)·a²·sinθ·ΔλΔθ = 0 (periodic x,
+        // vanishing fluxes at the poles)
+        let (geom, sa, mut state, mut diag) = setup();
+        let (nx, ny) = (geom.nx as isize, geom.ny as isize);
+        // arbitrary smooth winds
+        for k in 0..geom.nz as isize {
+            for j in 0..ny {
+                for i in 0..nx {
+                    let x = i as f64 / nx as f64 * std::f64::consts::TAU;
+                    state.u.set(i, j, k, (x * 2.0).sin() + 0.3);
+                    state.v.set(i, j, k, (x + j as f64).cos());
+                }
+            }
+        }
+        crate::boundary::enforce_pole_v(&mut state, &geom);
+        boundary::fill_boundaries(&mut state, &geom);
+        diag.update_surface(&geom, &sa, &state, -1, ny + 1);
+        diag.update_dp(&geom, &state, 0, ny, 0, 1, 0);
+        let mut total = 0.0;
+        for j in 0..ny {
+            total += diag
+                .dp
+                .row(0, nx, j, 0)
+                .iter()
+                .sum::<f64>()
+                * geom.sin_c(j);
+        }
+        let scale: f64 = (0..ny).map(|j| geom.sin_c(j)).sum::<f64>() * nx as f64;
+        assert!(
+            total.abs() / scale < 1e-12,
+            "global mass tendency {total} not ~0"
+        );
+    }
+}

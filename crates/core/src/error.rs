@@ -1,0 +1,60 @@
+//! Unified error type for model construction and stepping.
+
+use agcm_comm::CommError;
+use agcm_mesh::MeshError;
+use std::fmt;
+
+/// Errors from building or running a (parallel) model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// Grid / decomposition problem.
+    Mesh(MeshError),
+    /// Communication failure.
+    Comm(CommError),
+    /// Configuration inconsistent with the decomposition (e.g. deep halos
+    /// larger than a local block).
+    Config(String),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::Mesh(e) => write!(f, "mesh error: {e}"),
+            ModelError::Comm(e) => write!(f, "communication error: {e}"),
+            ModelError::Config(m) => write!(f, "configuration error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+impl From<MeshError> for ModelError {
+    fn from(e: MeshError) -> Self {
+        ModelError::Mesh(e)
+    }
+}
+
+impl From<CommError> for ModelError {
+    fn from(e: CommError) -> Self {
+        ModelError::Comm(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: ModelError = MeshError::InvalidProcessGrid {
+            px: 0,
+            py: 1,
+            pz: 1,
+        }
+        .into();
+        assert!(e.to_string().contains("mesh error"));
+        let e: ModelError = CommError::PeerGone { peer: 3 }.into();
+        assert!(e.to_string().contains("communication error"));
+        assert!(ModelError::Config("x".into()).to_string().contains("x"));
+    }
+}

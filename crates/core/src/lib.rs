@@ -1,0 +1,33 @@
+//! # agcm-core — the communication-avoiding AGCM dynamical core
+//!
+//! From-scratch reproduction of the dynamical core and the
+//! communication-avoiding algorithm of Xiao et al., "Communication-Avoiding
+//! for Dynamical Core of Atmospheric General Circulation Model"
+//! (ICPP 2018).
+
+#![warn(missing_docs)]
+
+pub mod adaptation;
+pub mod advection;
+pub mod analysis;
+pub mod boundary;
+pub mod config;
+pub mod diag;
+pub mod diagnostics;
+pub mod dycore;
+pub mod filterop;
+pub mod forcing;
+pub mod geometry;
+pub mod error;
+pub mod init;
+pub mod par;
+pub mod serial;
+pub mod smoothing;
+pub mod state;
+pub mod stdatm;
+pub mod tables;
+pub mod vertical;
+
+pub use config::ModelConfig;
+pub use geometry::{LocalGeometry, Region};
+pub use state::State;

@@ -1,0 +1,10 @@
+//! Parallel models: halo exchange, Algorithm 1 (original) and Algorithm 2
+//! (communication-avoiding).
+
+pub mod alg1;
+pub mod alg2;
+pub mod exchange;
+
+pub use alg1::{gather_state_impl, Alg1Model, GlobalState};
+pub use alg2::{gather_ca_state, CaModel};
+pub use exchange::{state_fields, ExField, HaloExchanger};

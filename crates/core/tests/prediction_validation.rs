@@ -1,0 +1,159 @@
+//! Validation of the cost predictor against the executing runtime.
+//!
+//! The figures of the paper are regenerated from [`agcm_core::analysis`]'s
+//! per-rank traffic predictions evaluated at 128–1024 ranks.  These tests
+//! pin the predictor to reality: at small rank counts, its per-rank message
+//! and element counts must equal the statistics the message-passing runtime
+//! actually measured, exactly.
+
+use agcm_comm::{p2p_only_delta, CostModel, Universe};
+use agcm_core::analysis::{predict_rank, AlgKind};
+use agcm_core::init;
+use agcm_core::par::{Alg1Model, CaModel};
+use agcm_core::ModelConfig;
+use agcm_mesh::{Decomposition, ProcessGrid};
+
+/// Measured per-step p2p traffic (collective-internal traffic subtracted)
+/// and collective call count, per rank.
+fn measure<FMK>(p: usize, cfg: &ModelConfig, mk: FMK) -> Vec<(u64, u64, u64)>
+where
+    FMK: Fn(&ModelConfig, &mut agcm_comm::Communicator) -> Box<dyn FnMut(&agcm_comm::Communicator)>
+        + Sync,
+{
+    let cfg = cfg.clone();
+    Universe::run(p, move |comm| {
+        let mut stepper = mk(&cfg, comm);
+        stepper(comm); // warm-up step (bootstraps CA cache)
+        let s0 = comm.stats().snapshot();
+        let ev0 = comm.stats().collective_events().len();
+        stepper(comm);
+        let s1 = comm.stats().snapshot();
+        let events = comm.stats().collective_events()[ev0..].to_vec();
+        let d = s1.delta(&s0);
+        let pure = p2p_only_delta(&d, &events);
+        (pure.p2p_sends, pure.p2p_send_elems, d.collective_calls)
+    })
+}
+
+fn flags(cfg: &ModelConfig) -> Vec<bool> {
+    // reproduce analysis::active_flags via the public filter
+    let grid = cfg.grid().unwrap();
+    let lats: Vec<f64> = (0..grid.ny()).map(|j| grid.latitude(j)).collect();
+    let filter =
+        agcm_fft::FourierFilter::new(grid.nx(), &lats, cfg.filter_cutoff_deg.to_radians());
+    (0..grid.ny()).map(|j| filter.is_active(j)).collect()
+}
+
+#[test]
+fn alg1_yz_counts_match_runtime() {
+    let cfg = ModelConfig::test_medium();
+    let pgrid = ProcessGrid::yz(2, 2).unwrap();
+    let measured = measure(4, &cfg, |cfg, comm| {
+        let mut m = Alg1Model::new(cfg, ProcessGrid::yz(2, 2).unwrap(), comm).unwrap();
+        let ic = init::perturbed_rest(m.geom(), 100.0, 1.0, 3);
+        m.set_state(&ic);
+        Box::new(move |c: &agcm_comm::Communicator| m.step(c).unwrap())
+    });
+    let decomp = Decomposition::new(cfg.extents(), pgrid).unwrap();
+    let model = CostModel::tianhe2();
+    let fl = flags(&cfg);
+    for (rank, &(msgs, elems, colls)) in measured.iter().enumerate() {
+        let rc = predict_rank(&cfg, AlgKind::OriginalYZ, &decomp, rank, &model, &fl);
+        assert_eq!(rc.p2p_msgs, msgs, "rank {rank}: messages");
+        assert_eq!(rc.p2p_elems, elems, "rank {rank}: elements");
+        assert_eq!(rc.collective_calls, colls, "rank {rank}: collectives");
+    }
+}
+
+#[test]
+fn alg1_xy_counts_match_runtime() {
+    let cfg = ModelConfig::test_medium();
+    let pgrid = ProcessGrid::xy(2, 2).unwrap();
+    let measured = measure(4, &cfg, |cfg, comm| {
+        let mut m = Alg1Model::new(cfg, ProcessGrid::xy(2, 2).unwrap(), comm).unwrap();
+        let ic = init::perturbed_rest(m.geom(), 100.0, 1.0, 3);
+        m.set_state(&ic);
+        Box::new(move |c: &agcm_comm::Communicator| m.step(c).unwrap())
+    });
+    let decomp = Decomposition::new(cfg.extents(), pgrid).unwrap();
+    let model = CostModel::tianhe2();
+    let fl = flags(&cfg);
+    for (rank, &(msgs, elems, colls)) in measured.iter().enumerate() {
+        let rc = predict_rank(&cfg, AlgKind::OriginalXY, &decomp, rank, &model, &fl);
+        assert_eq!(rc.p2p_msgs, msgs, "rank {rank}: messages");
+        assert_eq!(rc.p2p_elems, elems, "rank {rank}: elements");
+        assert_eq!(rc.collective_calls, colls, "rank {rank}: collectives");
+    }
+}
+
+#[test]
+fn alg2_counts_match_runtime_grouped() {
+    // blocks that force a clamped group (M = 3, 5-row blocks → g = 3):
+    // the predictor must track the executable's grouped schedule exactly
+    let mut cfg = ModelConfig::test_medium();
+    cfg.ny = 20;
+    let pgrid = ProcessGrid::yz(4, 1).unwrap();
+    let measured = measure(4, &cfg, |cfg, comm| {
+        let mut m = CaModel::new(cfg, ProcessGrid::yz(4, 1).unwrap(), comm).unwrap();
+        assert_eq!(m.group, 3, "expected a clamped group size");
+        let ic = init::perturbed_rest(m.geom(), 100.0, 1.0, 3);
+        m.set_state(&ic);
+        Box::new(move |c: &agcm_comm::Communicator| m.step(c).unwrap())
+    });
+    let decomp = Decomposition::new(cfg.extents(), pgrid).unwrap();
+    let model = CostModel::tianhe2();
+    let fl = flags(&cfg);
+    for (rank, &(msgs, elems, _)) in measured.iter().enumerate() {
+        let rc = predict_rank(&cfg, AlgKind::CommAvoiding, &decomp, rank, &model, &fl);
+        assert_eq!(rc.p2p_msgs, msgs, "rank {rank}: messages");
+        assert_eq!(rc.p2p_elems, elems, "rank {rank}: elements");
+    }
+}
+
+#[test]
+fn alg2_counts_match_runtime_degenerate_group() {
+    // 2-row blocks force g = 1 (per-sweep exchanges)
+    let mut cfg = ModelConfig::test_medium();
+    cfg.ny = 16;
+    let pgrid = ProcessGrid::yz(8, 1).unwrap();
+    let measured = measure(8, &cfg, |cfg, comm| {
+        let mut m = CaModel::new(cfg, ProcessGrid::yz(8, 1).unwrap(), comm).unwrap();
+        assert_eq!(m.group, 1);
+        let ic = init::perturbed_rest(m.geom(), 100.0, 1.0, 3);
+        m.set_state(&ic);
+        Box::new(move |c: &agcm_comm::Communicator| m.step(c).unwrap())
+    });
+    let decomp = Decomposition::new(cfg.extents(), pgrid).unwrap();
+    let model = CostModel::tianhe2();
+    let fl = flags(&cfg);
+    for (rank, &(msgs, elems, _)) in measured.iter().enumerate() {
+        let rc = predict_rank(&cfg, AlgKind::CommAvoiding, &decomp, rank, &model, &fl);
+        assert_eq!(rc.p2p_msgs, msgs, "rank {rank}: messages");
+        assert_eq!(rc.p2p_elems, elems, "rank {rank}: elements");
+    }
+}
+
+#[test]
+fn alg2_counts_match_runtime_full_depth() {
+    // a configuration whose blocks hold the full 3M-deep halo (M = 1):
+    // the grouped schedule degenerates to the paper's 2-exchange form and
+    // must match the executing CaModel message for message
+    let mut cfg = ModelConfig::test_medium();
+    cfg.m_iters = 1;
+    let pgrid = ProcessGrid::yz(2, 2).unwrap();
+    let measured = measure(4, &cfg, |cfg, comm| {
+        let mut m = CaModel::new(cfg, ProcessGrid::yz(2, 2).unwrap(), comm).unwrap();
+        let ic = init::perturbed_rest(m.geom(), 100.0, 1.0, 3);
+        m.set_state(&ic);
+        Box::new(move |c: &agcm_comm::Communicator| m.step(c).unwrap())
+    });
+    let decomp = Decomposition::new(cfg.extents(), pgrid).unwrap();
+    let model = CostModel::tianhe2();
+    let fl = flags(&cfg);
+    for (rank, &(msgs, elems, colls)) in measured.iter().enumerate() {
+        let rc = predict_rank(&cfg, AlgKind::CommAvoiding, &decomp, rank, &model, &fl);
+        assert_eq!(rc.p2p_msgs, msgs, "rank {rank}: messages");
+        assert_eq!(rc.p2p_elems, elems, "rank {rank}: elements");
+        assert_eq!(rc.collective_calls, colls, "rank {rank}: collectives");
+    }
+}

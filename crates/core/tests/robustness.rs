@@ -1,0 +1,139 @@
+//! Error paths and robustness of the model constructors and runtime.
+
+use agcm_comm::Universe;
+use agcm_core::error::ModelError;
+use agcm_core::init;
+use agcm_core::par::{Alg1Model, CaModel};
+use agcm_core::serial::{Iteration, SerialModel};
+use agcm_core::ModelConfig;
+use agcm_mesh::ProcessGrid;
+
+#[test]
+fn ca_rejects_x_decomposition() {
+    let cfg = ModelConfig::test_medium();
+    let results = Universe::run(2, move |comm| {
+        match CaModel::new(&cfg, ProcessGrid::xy(2, 1).unwrap(), comm) {
+            Err(ModelError::Config(msg)) => msg.contains("Y-Z"),
+            _ => false,
+        }
+    });
+    assert!(results.into_iter().all(|b| b));
+}
+
+#[test]
+fn models_reject_wrong_communicator_size() {
+    let cfg = ModelConfig::test_medium();
+    let results = Universe::run(2, move |comm| {
+        let a = Alg1Model::new(&cfg, ProcessGrid::yz(4, 1).unwrap(), comm);
+        let c = CaModel::new(&cfg, ProcessGrid::yz(4, 1).unwrap(), comm);
+        matches!(a, Err(ModelError::Config(_))) && matches!(c, Err(ModelError::Config(_)))
+    });
+    assert!(results.into_iter().all(|b| b));
+}
+
+#[test]
+fn alg1_rejects_oversubscribed_blocks() {
+    // per-sweep halo of depth 1 needs at least 1-row blocks; oversplit the
+    // mesh itself so Decomposition::new fails
+    let mut cfg = ModelConfig::test_small(); // ny = 10
+    cfg.ny = 10;
+    let results = Universe::run(16, move |comm| {
+        Alg1Model::new(&cfg, ProcessGrid::yz(16, 1).unwrap(), comm).is_err()
+    });
+    assert!(results.into_iter().all(|b| b));
+}
+
+#[test]
+fn ca_adapts_group_size_instead_of_failing() {
+    // blocks of 2 rows: the full 3M-deep halo cannot fit, but construction
+    // must succeed with a degenerate group
+    let mut cfg = ModelConfig::test_medium();
+    cfg.ny = 16;
+    let results = Universe::run(8, move |comm| {
+        let m = CaModel::new(&cfg, ProcessGrid::yz(8, 1).unwrap(), comm).unwrap();
+        (m.group, m.fused_smoothing, m.exchanges_per_step())
+    });
+    for (g, fuse, freq) in results {
+        assert_eq!(g, 1);
+        assert!(!fuse, "2-row blocks cannot take the +2 smoothing margin");
+        // 3M + ceil(3/ga) + 1 separate smoothing
+        assert!(freq >= 10 && freq <= 13, "freq = {freq}");
+    }
+}
+
+#[test]
+fn serial_model_rejects_invalid_grid() {
+    let mut cfg = ModelConfig::test_small();
+    cfg.nx = 2; // below the minimum
+    assert!(SerialModel::new(&cfg, Iteration::Exact).is_err());
+}
+
+#[test]
+fn long_unforced_run_stays_finite() {
+    // 30 steps of gravity-wave sloshing through filter + smoothing: no NaN,
+    // no blow-up
+    let mut m = SerialModel::new(&ModelConfig::test_small(), Iteration::Exact).unwrap();
+    let ic = init::perturbed_rest(m.geom(), 300.0, 2.0, 17);
+    m.set_state(&ic);
+    m.run(30);
+    assert!(!m.state.has_nan());
+    assert!(m.state.psa.max_abs() < 3000.0, "pressure anomaly exploded");
+    assert!(m.state.u.max_abs() < 100.0, "winds exploded");
+}
+
+#[test]
+fn long_forced_run_stays_finite() {
+    let mut cfg = ModelConfig::test_small();
+    cfg.held_suarez = true;
+    let mut m = SerialModel::new(&cfg, Iteration::Approximate).unwrap();
+    m.run(30);
+    assert!(!m.state.has_nan());
+    assert!(m.state.u.max_abs() < 200.0);
+}
+
+#[test]
+fn parallel_run_with_uneven_blocks() {
+    // 3-way split of 16 rows: blocks of 6/5/5 — uneven partitions must work
+    let cfg = ModelConfig::test_medium();
+    let cfg2 = cfg.clone();
+    let results = Universe::run(3, move |comm| {
+        let mut m = Alg1Model::new(&cfg2, ProcessGrid::yz(3, 1).unwrap(), comm).unwrap();
+        let ic = init::perturbed_rest(m.geom(), 150.0, 1.0, 4);
+        m.set_state(&ic);
+        m.run(comm, 2).unwrap();
+        m.gather_state(comm).unwrap()
+    });
+    let gathered = results[0].as_ref().unwrap();
+    // against the serial reference
+    let mut s = SerialModel::new(&cfg, Iteration::Exact).unwrap();
+    let ic = init::perturbed_rest(s.geom(), 150.0, 1.0, 4);
+    s.set_state(&ic);
+    s.run(2);
+    let serial = agcm_core::par::GlobalState::from_serial(&s.state, s.geom());
+    assert_eq!(gathered.max_abs_diff(&serial), 0.0, "uneven split must be exact");
+}
+
+#[test]
+fn six_rank_mixed_decomposition() {
+    // 3 x 2 (y, z) grid with uneven y blocks AND a z split
+    let cfg = ModelConfig::test_medium();
+    let cfg2 = cfg.clone();
+    let results = Universe::run(6, move |comm| {
+        let mut m = Alg1Model::new(&cfg2, ProcessGrid::yz(3, 2).unwrap(), comm).unwrap();
+        let ic = init::perturbed_rest(m.geom(), 150.0, 1.0, 4);
+        m.set_state(&ic);
+        m.run(comm, 2).unwrap();
+        m.gather_state(comm).unwrap()
+    });
+    let gathered = results[0].as_ref().unwrap();
+    let mut s = SerialModel::new(&cfg, Iteration::Exact).unwrap();
+    let ic = init::perturbed_rest(s.geom(), 150.0, 1.0, 4);
+    s.set_state(&ic);
+    s.run(2);
+    let serial = agcm_core::par::GlobalState::from_serial(&s.state, s.geom());
+    assert!(
+        gathered.max_abs_diff(&serial) < 1e-8,
+        "mixed decomposition diverged: {}",
+        gathered.max_abs_diff(&serial)
+    );
+}

@@ -1,0 +1,155 @@
+//! Minimal complex arithmetic for the FFT.
+//!
+//! Implemented in-crate (rather than pulling in an external numerics crate)
+//! because the FFT itself is part of the reproduction: the Fourier polar
+//! filtering `F` is one of the five operators of the paper's calculating
+//! flow (Eq. 8), and its data movement — not just its result — matters.
+
+use std::ops::{Add, AddAssign, Mul, Neg, Sub};
+
+/// A complex number in cartesian form.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// Construct from real and imaginary parts.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// Zero.
+    #[inline]
+    pub const fn zero() -> Self {
+        Complex { re: 0.0, im: 0.0 }
+    }
+
+    /// One.
+    #[inline]
+    pub const fn one() -> Self {
+        Complex { re: 1.0, im: 0.0 }
+    }
+
+    /// `e^{iθ} = cos θ + i sin θ`.
+    #[inline]
+    pub fn cis(theta: f64) -> Self {
+        Complex {
+            re: theta.cos(),
+            im: theta.sin(),
+        }
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Complex {
+            re: self.re,
+            im: -self.im,
+        }
+    }
+
+    /// Squared magnitude.
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Magnitude.
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Multiply by a real scalar.
+    #[inline]
+    pub fn scale(self, s: f64) -> Self {
+        Complex {
+            re: self.re * s,
+            im: self.im * s,
+        }
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    #[inline]
+    fn add(self, o: Complex) -> Complex {
+        Complex::new(self.re + o.re, self.im + o.im)
+    }
+}
+
+impl AddAssign for Complex {
+    #[inline]
+    fn add_assign(&mut self, o: Complex) {
+        self.re += o.re;
+        self.im += o.im;
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    #[inline]
+    fn sub(self, o: Complex) -> Complex {
+        Complex::new(self.re - o.re, self.im - o.im)
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, o: Complex) -> Complex {
+        Complex::new(
+            self.re * o.re - self.im * o.im,
+            self.re * o.im + self.im * o.re,
+        )
+    }
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+    #[inline]
+    fn neg(self) -> Complex {
+        Complex::new(-self.re, -self.im)
+    }
+}
+
+impl From<f64> for Complex {
+    #[inline]
+    fn from(re: f64) -> Self {
+        Complex::new(re, 0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let a = Complex::new(1.0, 2.0);
+        let b = Complex::new(3.0, -1.0);
+        assert_eq!(a + b, Complex::new(4.0, 1.0));
+        assert_eq!(a - b, Complex::new(-2.0, 3.0));
+        // (1+2i)(3-i) = 3 - i + 6i - 2i² = 5 + 5i
+        assert_eq!(a * b, Complex::new(5.0, 5.0));
+        assert_eq!(-a, Complex::new(-1.0, -2.0));
+        assert_eq!(a.conj(), Complex::new(1.0, -2.0));
+        assert_eq!(a.norm_sqr(), 5.0);
+        assert_eq!(Complex::from(2.0), Complex::new(2.0, 0.0));
+        assert_eq!(a.scale(2.0), Complex::new(2.0, 4.0));
+    }
+
+    #[test]
+    fn cis_unit_circle() {
+        use std::f64::consts::PI;
+        let q = Complex::cis(PI / 2.0);
+        assert!((q.re).abs() < 1e-15);
+        assert!((q.im - 1.0).abs() < 1e-15);
+        assert!((Complex::cis(0.3).abs() - 1.0).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,261 @@
+//! Mixed-radix fast Fourier transform.
+//!
+//! A recursive Cooley–Tukey decimation-in-time transform that factors the
+//! length into small radices (2, 3, 5, 7, …) and falls back to the naive
+//! O(n²) DFT for any remaining large prime factor.  Latitude–longitude
+//! meshes use smooth `n_x` (the paper's mesh has `n_x = 720 = 2⁴·3²·5`), so
+//! the fallback only triggers on deliberately adversarial sizes.
+//!
+//! Conventions: forward transform `X[k] = Σ_j x[j]·e^{-2πi jk/n}` without
+//! normalization; the inverse carries the `1/n` factor, so
+//! `ifft(fft(x)) = x`.
+
+use crate::complex::Complex;
+
+/// Naive O(n²) discrete Fourier transform — the testing oracle and the
+/// large-prime fallback.  `sign = -1.0` is forward, `+1.0` inverse-style
+/// (without normalization).
+pub fn dft_naive(x: &[Complex], sign: f64) -> Vec<Complex> {
+    let n = x.len();
+    let mut out = vec![Complex::zero(); n];
+    if n == 0 {
+        return out;
+    }
+    let w = sign * 2.0 * std::f64::consts::PI / n as f64;
+    for (k, o) in out.iter_mut().enumerate() {
+        let mut acc = Complex::zero();
+        for (j, &xj) in x.iter().enumerate() {
+            acc += xj * Complex::cis(w * ((j * k) % n) as f64);
+        }
+        *o = acc;
+    }
+    out
+}
+
+/// Smallest prime factor of `n` (n ≥ 2).
+fn smallest_factor(n: usize) -> usize {
+    for r in [2usize, 3, 5, 7, 11, 13] {
+        if n % r == 0 {
+            return r;
+        }
+    }
+    let mut r = 17;
+    while r * r <= n {
+        if n % r == 0 {
+            return r;
+        }
+        r += 2;
+    }
+    n
+}
+
+/// Recursive mixed-radix kernel.
+fn fft_rec(x: &[Complex], sign: f64) -> Vec<Complex> {
+    let n = x.len();
+    if n <= 1 {
+        return x.to_vec();
+    }
+    let r = smallest_factor(n);
+    if r == n {
+        // prime length: fall back to naive DFT (O(n²) — only hit for prime n)
+        return dft_naive(x, sign);
+    }
+    let m = n / r;
+    // decimate: sub l takes x[l], x[l+r], x[l+2r], ...
+    let subs: Vec<Vec<Complex>> = (0..r)
+        .map(|l| {
+            let stride: Vec<Complex> = (0..m).map(|j| x[l + j * r]).collect();
+            fft_rec(&stride, sign)
+        })
+        .collect();
+    // combine: X[k] = Σ_l e^{sign·2πi·lk/n} · Sub_l[k mod m]
+    let w = sign * 2.0 * std::f64::consts::PI / n as f64;
+    let mut out = vec![Complex::zero(); n];
+    for (k, o) in out.iter_mut().enumerate() {
+        let mut acc = Complex::zero();
+        for (l, sub) in subs.iter().enumerate() {
+            acc += sub[k % m] * Complex::cis(w * ((l * k) % n) as f64);
+        }
+        *o = acc;
+    }
+    out
+}
+
+/// Forward FFT (no normalization).
+pub fn fft(x: &[Complex]) -> Vec<Complex> {
+    fft_rec(x, -1.0)
+}
+
+/// Inverse FFT (with `1/n` normalization), so `ifft(fft(x)) == x`.
+pub fn ifft(x: &[Complex]) -> Vec<Complex> {
+    let n = x.len();
+    let mut out = fft_rec(x, 1.0);
+    if n > 0 {
+        let s = 1.0 / n as f64;
+        for v in &mut out {
+            *v = v.scale(s);
+        }
+    }
+    out
+}
+
+/// Forward real-to-complex FFT: returns the non-redundant half spectrum
+/// `X[0..=n/2]` (`n/2 + 1` coefficients).  The remaining coefficients are
+/// determined by conjugate symmetry `X[n-k] = conj(X[k])`.
+pub fn rfft(x: &[f64]) -> Vec<Complex> {
+    let n = x.len();
+    let cx: Vec<Complex> = x.iter().map(|&v| Complex::from(v)).collect();
+    let full = fft(&cx);
+    full[..=n / 2].to_vec()
+}
+
+/// Inverse of [`rfft`]: reconstruct `n` real samples from the half spectrum.
+/// `spectrum.len()` must be `n/2 + 1`.
+pub fn irfft(spectrum: &[Complex], n: usize) -> Vec<f64> {
+    assert_eq!(
+        spectrum.len(),
+        n / 2 + 1,
+        "half spectrum of length n/2+1 required"
+    );
+    let mut full = vec![Complex::zero(); n];
+    full[..spectrum.len()].copy_from_slice(spectrum);
+    for k in spectrum.len()..n {
+        full[k] = spectrum[n - k].conj();
+    }
+    ifft(&full).into_iter().map(|c| c.re).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: &[Complex], b: &[Complex], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!(
+                (*x - *y).abs() < tol,
+                "mismatch at {i}: {x:?} vs {y:?}"
+            );
+        }
+    }
+
+    fn random_signal(n: usize, seed: u64) -> Vec<Complex> {
+        // simple deterministic LCG so the test needs no RNG dependency here
+        let mut s = seed.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+        let mut next = move || {
+            s = s.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            (s >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        (0..n).map(|_| Complex::new(next(), next())).collect()
+    }
+
+    #[test]
+    fn fft_matches_naive_dft_smooth_sizes() {
+        for n in [1usize, 2, 3, 4, 5, 6, 8, 9, 10, 12, 15, 16, 20, 24, 30, 45, 60, 64] {
+            let x = random_signal(n, n as u64);
+            assert_close(&fft(&x), &dft_naive(&x, -1.0), 1e-9 * (n as f64 + 1.0));
+        }
+    }
+
+    #[test]
+    fn fft_handles_prime_and_semi_prime_sizes() {
+        for n in [7usize, 11, 13, 17, 19, 23, 34, 51] {
+            let x = random_signal(n, n as u64);
+            assert_close(&fft(&x), &dft_naive(&x, -1.0), 1e-9 * n as f64);
+        }
+    }
+
+    #[test]
+    fn ifft_roundtrip() {
+        for n in [2usize, 12, 30, 720] {
+            let x = random_signal(n, 42 + n as u64);
+            let back = ifft(&fft(&x));
+            assert_close(&back, &x, 1e-10 * n as f64);
+        }
+    }
+
+    #[test]
+    fn fft_of_delta_is_flat() {
+        let mut x = vec![Complex::zero(); 16];
+        x[0] = Complex::one();
+        for c in fft(&x) {
+            assert!((c - Complex::one()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fft_of_single_mode() {
+        // x[j] = e^{2πi·3j/n} → spike at k = 3 of height n
+        let n = 20;
+        let x: Vec<Complex> = (0..n)
+            .map(|j| Complex::cis(2.0 * std::f64::consts::PI * 3.0 * j as f64 / n as f64))
+            .collect();
+        let s = fft(&x);
+        for (k, c) in s.iter().enumerate() {
+            if k == 3 {
+                assert!((c.re - n as f64).abs() < 1e-9);
+            } else {
+                assert!(c.abs() < 1e-9, "leak at {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn parseval() {
+        let n = 48;
+        let x = random_signal(n, 7);
+        let s = fft(&x);
+        let time_energy: f64 = x.iter().map(|c| c.norm_sqr()).sum();
+        let freq_energy: f64 = s.iter().map(|c| c.norm_sqr()).sum::<f64>() / n as f64;
+        assert!((time_energy - freq_energy).abs() < 1e-9 * time_energy.max(1.0));
+    }
+
+    #[test]
+    fn linearity() {
+        let n = 30;
+        let x = random_signal(n, 1);
+        let y = random_signal(n, 2);
+        let z: Vec<Complex> = x
+            .iter()
+            .zip(&y)
+            .map(|(&a, &b)| a.scale(2.0) + b.scale(-3.0))
+            .collect();
+        let fz = fft(&z);
+        let fx = fft(&x);
+        let fy = fft(&y);
+        for i in 0..n {
+            let want = fx[i].scale(2.0) + fy[i].scale(-3.0);
+            assert!((fz[i] - want).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn rfft_roundtrip_even_and_odd() {
+        for n in [8usize, 9, 30, 720] {
+            let x: Vec<f64> = (0..n).map(|i| ((i * i + 3) % 17) as f64 - 8.0).collect();
+            let spec = rfft(&x);
+            assert_eq!(spec.len(), n / 2 + 1);
+            let back = irfft(&spec, n);
+            for (a, b) in x.iter().zip(&back) {
+                assert!((a - b).abs() < 1e-9, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn rfft_dc_and_nyquist_real() {
+        let x = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let spec = rfft(&x);
+        assert!((spec[0].re - 21.0).abs() < 1e-12); // DC = sum
+        assert!(spec[0].im.abs() < 1e-12);
+        assert!(spec[3].im.abs() < 1e-9); // Nyquist is real for even n
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert!(fft(&[]).is_empty());
+        let one = [Complex::new(3.0, 1.0)];
+        assert_eq!(fft(&one), one.to_vec());
+        assert_eq!(ifft(&one), one.to_vec());
+    }
+}

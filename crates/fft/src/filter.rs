@@ -1,0 +1,271 @@
+//! Fourier polar filtering — the operator `F` of the calculating flow.
+//!
+//! Near the poles the longitude grid lines of a latitude–longitude mesh
+//! cluster, which makes the CFL limit on the time step collapse.  The
+//! classical cure (the paper's reference [21], Umscheid & Sankar-Rao 1971)
+//! is to damp the high zonal wavenumbers of every latitude circle poleward
+//! of a critical latitude `φ_c`: transform the circle with a 1-D FFT,
+//! multiply wavenumber `m` by
+//!
+//! ```text
+//! d(m, φ) = min{ 1, (cos φ / cos φ_c) · sin(Δλ/2) / sin(m·Δλ/2) }
+//! ```
+//!
+//! and transform back.  Equatorward of `φ_c` the damping is identically 1.
+//!
+//! The filter is applied per `(j, k)` row, and the FFT needs the *full*
+//! latitude circle: under an X-Y decomposition this forces the collective
+//! communication along x that the paper's Theorem 4.1 bounds from below —
+//! and that the Y-Z decomposition (`p_x = 1`) eliminates entirely (§4.2.1).
+
+use crate::complex::Complex;
+use crate::fft::{irfft, rfft};
+
+/// Precomputed per-latitude damping profiles for `F`.
+#[derive(Debug, Clone)]
+pub struct FourierFilter {
+    nx: usize,
+    /// `damping[j][m]` for `m ∈ 0..=nx/2`; rows equatorward of the critical
+    /// latitude hold `None` (identity).
+    damping: Vec<Option<Vec<f64>>>,
+}
+
+impl FourierFilter {
+    /// Build the filter for `nx` longitudes and the given geographic
+    /// latitudes (radians, one per mesh row).  `critical_latitude` is in
+    /// radians; rows with `|φ| < φ_c` are untouched.
+    pub fn new(nx: usize, latitudes: &[f64], critical_latitude: f64) -> Self {
+        assert!(nx >= 2, "need at least two longitudes");
+        assert!(
+            critical_latitude > 0.0 && critical_latitude < std::f64::consts::FRAC_PI_2,
+            "critical latitude must be in (0, π/2)"
+        );
+        let dl2 = std::f64::consts::PI / nx as f64; // Δλ/2
+        let cos_c = critical_latitude.cos();
+        let damping = latitudes
+            .iter()
+            .map(|&phi| {
+                if phi.abs() < critical_latitude {
+                    None
+                } else {
+                    let ratio = phi.cos().max(0.0) / cos_c;
+                    let prof: Vec<f64> = (0..=nx / 2)
+                        .map(|m| {
+                            if m == 0 {
+                                1.0
+                            } else {
+                                (ratio * dl2.sin() / (m as f64 * dl2).sin()).min(1.0)
+                            }
+                        })
+                        .collect();
+                    Some(prof)
+                }
+            })
+            .collect();
+        FourierFilter { nx, damping }
+    }
+
+    /// The paper's default: filtering poleward of 70°.
+    pub fn with_default_cutoff(nx: usize, latitudes: &[f64]) -> Self {
+        Self::new(nx, latitudes, 70.0_f64.to_radians())
+    }
+
+    /// Number of longitudes.
+    pub fn nx(&self) -> usize {
+        self.nx
+    }
+
+    /// Number of latitude rows.
+    pub fn ny(&self) -> usize {
+        self.damping.len()
+    }
+
+    /// Whether row `j` is actually damped (poleward of `φ_c`).
+    pub fn is_active(&self, j: usize) -> bool {
+        self.damping[j].is_some()
+    }
+
+    /// Number of damped rows.
+    pub fn active_rows(&self) -> usize {
+        self.damping.iter().filter(|d| d.is_some()).count()
+    }
+
+    /// Damping profile of row `j` (`None` = identity).
+    pub fn profile(&self, j: usize) -> Option<&[f64]> {
+        self.damping[j].as_deref()
+    }
+
+    /// Filter one latitude circle in place.  `row.len()` must equal `nx`.
+    pub fn apply_row(&self, j: usize, row: &mut [f64]) {
+        assert_eq!(row.len(), self.nx, "row must span the full circle");
+        let Some(prof) = &self.damping[j] else {
+            return;
+        };
+        let mut spec: Vec<Complex> = rfft(row);
+        for (c, &d) in spec.iter_mut().zip(prof) {
+            *c = c.scale(d);
+        }
+        let out = irfft(&spec, self.nx);
+        row.copy_from_slice(&out);
+    }
+
+    /// Apply the damping profile of row `j` directly to a half spectrum
+    /// (used by the distributed filter, which owns the transform steps).
+    pub fn apply_spectrum(&self, j: usize, spec: &mut [Complex]) {
+        if let Some(prof) = &self.damping[j] {
+            assert_eq!(spec.len(), prof.len());
+            for (c, &d) in spec.iter_mut().zip(prof) {
+                *c = c.scale(d);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Mesh-row latitudes like the grid crate produces: (j+1/2)Δθ colatitude.
+    fn latitudes(ny: usize) -> Vec<f64> {
+        (0..ny)
+            .map(|j| {
+                std::f64::consts::FRAC_PI_2
+                    - (j as f64 + 0.5) * std::f64::consts::PI / ny as f64
+            })
+            .collect()
+    }
+
+    #[test]
+    fn equator_rows_untouched() {
+        let lats = latitudes(18);
+        let f = FourierFilter::with_default_cutoff(24, &lats);
+        let mut row: Vec<f64> = (0..24).map(|i| (i as f64 * 0.7).sin() + 2.0).collect();
+        let orig = row.clone();
+        let j_eq = 9;
+        assert!(!f.is_active(j_eq));
+        f.apply_row(j_eq, &mut row);
+        assert_eq!(row, orig);
+    }
+
+    #[test]
+    fn polar_rows_active_and_symmetric() {
+        let lats = latitudes(18);
+        let f = FourierFilter::with_default_cutoff(24, &lats);
+        assert!(f.is_active(0), "northernmost row must be filtered");
+        assert!(f.is_active(17), "southernmost row must be filtered");
+        assert_eq!(f.active_rows() % 2, 0, "hemispheric symmetry");
+        // symmetric profiles north/south
+        let n = f.profile(0).unwrap();
+        let s = f.profile(17).unwrap();
+        for (a, b) in n.iter().zip(s) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn damping_monotone_in_wavenumber() {
+        let lats = latitudes(36);
+        let f = FourierFilter::with_default_cutoff(48, &lats);
+        let prof = f.profile(0).unwrap();
+        assert_eq!(prof[0], 1.0, "zonal mean never damped");
+        for w in prof[1..].windows(2) {
+            assert!(w[1] <= w[0] + 1e-15, "profile must not increase with m");
+        }
+        assert!(prof[prof.len() - 1] < 0.5, "shortest waves strongly damped");
+    }
+
+    #[test]
+    fn closer_to_pole_damps_more() {
+        let lats = latitudes(36);
+        let f = FourierFilter::with_default_cutoff(48, &lats);
+        let near_pole = f.profile(0).unwrap();
+        let less_polar = f.profile(3).unwrap();
+        let m = 10;
+        assert!(near_pole[m] < less_polar[m]);
+    }
+
+    #[test]
+    fn preserves_zonal_mean() {
+        let lats = latitudes(18);
+        let f = FourierFilter::with_default_cutoff(24, &lats);
+        let mut row: Vec<f64> = (0..24).map(|i| ((i * 7 + 3) % 11) as f64).collect();
+        let mean_before: f64 = row.iter().sum::<f64>() / 24.0;
+        f.apply_row(0, &mut row);
+        let mean_after: f64 = row.iter().sum::<f64>() / 24.0;
+        assert!((mean_before - mean_after).abs() < 1e-10);
+    }
+
+    #[test]
+    fn removes_high_frequency_noise() {
+        let lats = latitudes(18);
+        let f = FourierFilter::with_default_cutoff(32, &lats);
+        // smooth signal + Nyquist noise
+        let smooth: Vec<f64> = (0..32)
+            .map(|i| (2.0 * std::f64::consts::PI * i as f64 / 32.0).cos())
+            .collect();
+        let mut noisy: Vec<f64> = smooth
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| v + if i % 2 == 0 { 0.5 } else { -0.5 })
+            .collect();
+        f.apply_row(0, &mut noisy);
+        // Nyquist amplitude after: |x[0]-x[1]| shrinks strongly
+        let rough_after: f64 = noisy
+            .windows(2)
+            .map(|w| (w[1] - w[0]).abs())
+            .sum::<f64>();
+        let rough_before: f64 = 32.0; // 0.5 jumps of 1.0 each, 32 windows
+        assert!(rough_after < 0.7 * rough_before);
+    }
+
+    #[test]
+    fn filter_is_linear() {
+        let lats = latitudes(18);
+        let f = FourierFilter::with_default_cutoff(24, &lats);
+        let a: Vec<f64> = (0..24).map(|i| (i as f64).sin()).collect();
+        let b: Vec<f64> = (0..24).map(|i| (i as f64 * 1.3).cos()).collect();
+        let mut fa = a.clone();
+        let mut fb = b.clone();
+        let mut fab: Vec<f64> = a.iter().zip(&b).map(|(x, y)| 2.0 * x - y).collect();
+        f.apply_row(0, &mut fa);
+        f.apply_row(0, &mut fb);
+        f.apply_row(0, &mut fab);
+        for i in 0..24 {
+            assert!((fab[i] - (2.0 * fa[i] - fb[i])).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn idempotent_only_where_saturated() {
+        // applying twice damps at least as much as once
+        let lats = latitudes(18);
+        let f = FourierFilter::with_default_cutoff(24, &lats);
+        let mut once: Vec<f64> = (0..24).map(|i| ((i * 5) % 7) as f64).collect();
+        let mut twice = once.clone();
+        f.apply_row(0, &mut once);
+        f.apply_row(0, &mut twice);
+        f.apply_row(0, &mut twice);
+        let energy = |r: &[f64]| {
+            let m = r.iter().sum::<f64>() / r.len() as f64;
+            r.iter().map(|v| (v - m) * (v - m)).sum::<f64>()
+        };
+        assert!(energy(&twice) <= energy(&once) + 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn wrong_row_length_panics() {
+        let lats = latitudes(8);
+        let f = FourierFilter::with_default_cutoff(16, &lats);
+        let mut row = vec![0.0; 8];
+        f.apply_row(0, &mut row);
+    }
+
+    #[test]
+    fn custom_cutoff_covers_more_rows() {
+        let lats = latitudes(36);
+        let strict = FourierFilter::new(16, &lats, 80.0_f64.to_radians());
+        let loose = FourierFilter::new(16, &lats, 40.0_f64.to_radians());
+        assert!(loose.active_rows() > strict.active_rows());
+    }
+}

@@ -1,0 +1,213 @@
+//! Property-based tests of the mesh substrate invariants.
+
+use agcm_mesh::{
+    decomp::block_range, AxisOffsets, BoxRange, Decomposition, ExchangePlan, Field3, HaloWidths,
+    ProcessGrid, StencilFootprint,
+};
+use proptest::prelude::*;
+
+proptest! {
+    /// block_range tiles [0, n) exactly: disjoint, covering, ordered.
+    #[test]
+    fn block_range_partitions(n in 1usize..200, p in 1usize..32) {
+        prop_assume!(p <= n);
+        let mut next = 0usize;
+        for r in 0..p {
+            let rng = block_range(n, p, r);
+            prop_assert_eq!(rng.start, next, "gap or overlap at part {}", r);
+            prop_assert!(!rng.is_empty(), "empty part {}", r);
+            next = rng.end;
+        }
+        prop_assert_eq!(next, n);
+    }
+
+    /// block sizes differ by at most one (balanced partition).
+    #[test]
+    fn block_range_balanced(n in 1usize..500, p in 1usize..64) {
+        prop_assume!(p <= n);
+        let sizes: Vec<usize> = (0..p).map(|r| block_range(n, p, r).len()).collect();
+        let mn = *sizes.iter().min().unwrap();
+        let mx = *sizes.iter().max().unwrap();
+        prop_assert!(mx - mn <= 1, "sizes {:?}", sizes);
+    }
+
+    /// every mesh point has exactly one owner, and owner() agrees with the
+    /// subdomain ranges.
+    #[test]
+    fn ownership_is_a_partition(
+        nx in 4usize..20, ny in 4usize..20, nz in 1usize..10,
+        px in 1usize..4, py in 1usize..4, pz in 1usize..4,
+    ) {
+        prop_assume!(px <= nx && py <= ny && pz <= nz);
+        let d = Decomposition::new((nx, ny, nz), ProcessGrid::new(px, py, pz).unwrap()).unwrap();
+        let total: usize = d.subdomains().iter().map(|s| s.len()).sum();
+        prop_assert_eq!(total, nx * ny * nz);
+        // spot-check owner() on a grid sample
+        for i in (0..nx).step_by(3) {
+            for j in (0..ny).step_by(3) {
+                for k in (0..nz).step_by(2) {
+                    let o = d.owner(i, j, k);
+                    let s = d.subdomain(o);
+                    prop_assert!(s.x.contains(&i) && s.y.contains(&j) && s.z.contains(&k));
+                }
+            }
+        }
+    }
+
+    /// exchange plans pair up: every send I post has a matching recv box of
+    /// identical size at the destination rank.
+    #[test]
+    fn exchange_plans_pair(
+        ny in 6usize..24, nz in 4usize..16,
+        py in 2usize..4, pz in 2usize..4,
+        h in 1usize..3,
+    ) {
+        prop_assume!(py <= ny / 2 && pz <= nz / 2);
+        prop_assume!(ny / py >= h && nz / pz >= h);
+        let d = Decomposition::new((8, ny, nz), ProcessGrid::yz(py, pz).unwrap()).unwrap();
+        let plans: Vec<ExchangePlan> = (0..d.size())
+            .map(|r| ExchangePlan::new(&d, r, HaloWidths::uniform(h)))
+            .collect();
+        for (rank, plan) in plans.iter().enumerate() {
+            for spec in plan.specs() {
+                let (dx, dy, dz) = spec.link.offset;
+                let peer = &plans[spec.link.rank];
+                // the peer's spec pointing back at us with the negated offset
+                let back = peer.specs().iter().find(|s| {
+                    s.link.rank == rank && s.link.offset == (-dx, -dy, -dz)
+                });
+                prop_assert!(back.is_some(), "no reciprocal spec");
+                prop_assert_eq!(back.unwrap().recv.len(), spec.send.len());
+            }
+        }
+    }
+
+    /// total send volume equals total receive volume across all ranks.
+    #[test]
+    fn exchange_volume_balances(
+        ny in 6usize..24, nz in 4usize..16, py in 1usize..4, pz in 1usize..4, h in 1usize..3,
+    ) {
+        prop_assume!(py <= ny && pz <= nz);
+        prop_assume!(ny / py >= h && nz / pz >= h);
+        let d = Decomposition::new((8, ny, nz), ProcessGrid::yz(py, pz).unwrap()).unwrap();
+        let mut sent = 0usize;
+        let mut received = 0usize;
+        for r in 0..d.size() {
+            let plan = ExchangePlan::new(&d, r, HaloWidths::uniform(h));
+            sent += plan.send_volume();
+            received += plan.recv_volume();
+        }
+        prop_assert_eq!(sent, received);
+    }
+
+    /// footprint composition is monotone: repeated(k+1) contains repeated(k).
+    #[test]
+    fn footprint_dilation_monotone(
+        xs in proptest::collection::vec(-3i32..=3, 1..5),
+        ys in proptest::collection::vec(-2i32..=2, 1..4),
+        k in 1u32..4,
+    ) {
+        let fp = StencilFootprint::new("t", xs, ys, vec![]);
+        let a = fp.repeated(k);
+        let b = fp.repeated(k + 1);
+        for (dx, dy, dz) in a.iter() {
+            prop_assert!(b.contains(dx, dy, dz));
+        }
+    }
+
+    /// union is commutative and contains both operands.
+    #[test]
+    fn footprint_union_properties(
+        xs1 in proptest::collection::vec(-3i32..=3, 0..4),
+        xs2 in proptest::collection::vec(-3i32..=3, 0..4),
+    ) {
+        let a = StencilFootprint::new("a", xs1, vec![], vec![]);
+        let b = StencilFootprint::new("b", xs2, vec![], vec![]);
+        let u1 = a.union(&b);
+        let u2 = b.union(&a);
+        prop_assert_eq!(u1.x.offsets(), u2.x.offsets());
+        for (dx, dy, dz) in a.iter() {
+            prop_assert!(u1.contains(dx, dy, dz));
+        }
+        for (dx, dy, dz) in b.iter() {
+            prop_assert!(u1.contains(dx, dy, dz));
+        }
+    }
+
+    /// offsets compose like Minkowski sums: extents add.
+    #[test]
+    fn axis_offsets_compose_extents(
+        a_neg in 0u32..4, a_pos in 0u32..4, b_neg in 0u32..4, b_pos in 0u32..4,
+    ) {
+        let a = AxisOffsets::range(a_neg, a_pos);
+        let b = AxisOffsets::range(b_neg, b_pos);
+        let c = a.compose(&b);
+        prop_assert_eq!(c.neg_extent(), a_neg + b_neg);
+        prop_assert_eq!(c.pos_extent(), a_pos + b_pos);
+    }
+
+    /// pack_box / unpack_box round-trips arbitrary boxes.
+    #[test]
+    fn pack_unpack_roundtrip(
+        nx in 2usize..8, ny in 2usize..8, nz in 1usize..5,
+        x0 in 0usize..3, y0 in 0usize..3, z0 in 0usize..2,
+        seed in 0u64..1000,
+    ) {
+        prop_assume!(x0 < nx && y0 < ny && z0 < nz);
+        let mut a = Field3::new(nx, ny, nz, HaloWidths::uniform(1));
+        let mut s = seed;
+        for k in 0..nz as isize {
+            for j in 0..ny as isize {
+                for i in 0..nx as isize {
+                    s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    a.set(i, j, k, (s >> 16) as f64);
+                }
+            }
+        }
+        let bx = BoxRange {
+            x: x0 as isize..nx as isize,
+            y: y0 as isize..ny as isize,
+            z: z0 as isize..nz as isize,
+        };
+        let mut buf = Vec::new();
+        let n = a.pack_box(bx.x.clone(), bx.y.clone(), bx.z.clone(), &mut buf);
+        prop_assert_eq!(n, bx.len());
+        let mut b = Field3::like(&a);
+        let consumed = b.unpack_box(bx.x.clone(), bx.y.clone(), bx.z.clone(), &buf);
+        prop_assert_eq!(consumed, n);
+        for k in bx.z.clone() {
+            for j in bx.y.clone() {
+                for i in bx.x.clone() {
+                    prop_assert_eq!(b.get(i, j, k), a.get(i, j, k));
+                }
+            }
+        }
+    }
+
+    /// wrap_x_halo makes the field exactly periodic.
+    #[test]
+    fn wrap_is_periodic(nx in 4usize..12, h in 1usize..4, seed in 0u64..1000) {
+        prop_assume!(h <= nx);
+        let mut f = Field3::new(nx, 3, 2, HaloWidths {
+            xm: h, xp: h, ym: 0, yp: 0, zm: 0, zp: 0,
+        });
+        let mut s = seed;
+        for k in 0..2isize {
+            for j in 0..3isize {
+                for i in 0..nx as isize {
+                    s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    f.set(i, j, k, (s >> 16) as f64);
+                }
+            }
+        }
+        f.wrap_x_halo();
+        for k in 0..2isize {
+            for j in 0..3isize {
+                for d in 1..=h as isize {
+                    prop_assert_eq!(f.get(-d, j, k), f.get(nx as isize - d, j, k));
+                    prop_assert_eq!(f.get(nx as isize + d - 1, j, k), f.get(d - 1, j, k));
+                }
+            }
+        }
+    }
+}
