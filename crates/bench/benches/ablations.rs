@@ -8,6 +8,7 @@
 //!   `S̃₂∘S̃₁` staged form,
 //! * operator kernels in isolation (adaptation vs advection sweeps).
 
+use agcm_bench::timing::{bench, group};
 use agcm_core::boundary;
 use agcm_core::diag::Diag;
 use agcm_core::geometry::LocalGeometry;
@@ -19,7 +20,6 @@ use agcm_core::stdatm::StandardAtmosphere;
 use agcm_core::vertical::{apply_c, ZContext};
 use agcm_core::ModelConfig;
 use agcm_mesh::{Decomposition, HaloWidths, ProcessGrid};
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::sync::Arc;
 
 fn setup() -> (LocalGeometry, StandardAtmosphere, State, Diag) {
@@ -35,76 +35,64 @@ fn setup() -> (LocalGeometry, StandardAtmosphere, State, Diag) {
     (geom, sa, st, diag)
 }
 
-fn approx_iteration(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation_approx_c");
+fn approx_iteration() {
+    group("ablation_approx_c");
     let cfg = ModelConfig::test_medium();
     for (name, variant) in [
         ("exact_3C_per_iter", Iteration::Exact),
         ("approx_2C_per_iter", Iteration::Approximate),
     ] {
-        group.bench_function(name, |b| {
-            let mut model = SerialModel::new(&cfg, variant).unwrap();
-            let ic = init::perturbed_rest(model.geom(), 150.0, 1.0, 5);
-            model.set_state(&ic);
-            b.iter(|| {
-                model.step();
-                std::hint::black_box(model.state.phi.get(0, 0, 0))
-            });
+        let mut model = SerialModel::new(&cfg, variant).unwrap();
+        let ic = init::perturbed_rest(model.geom(), 150.0, 1.0, 5);
+        model.set_state(&ic);
+        bench(name, 10, || {
+            model.step();
+            model.state.phi.get(0, 0, 0)
         });
     }
-    group.finish();
 }
 
-fn smoothing_split(c: &mut Criterion) {
+fn smoothing_split() {
     let (geom, _sa, st, _diag) = setup();
     let region = geom.interior();
-    let mut group = c.benchmark_group("ablation_smoothing_fusion");
-    group.bench_function("full_sweep", |b| {
-        let mut out = State::like(&st);
-        b.iter(|| {
-            smooth_full(&geom, 0.1, &st, &mut out, region);
-            std::hint::black_box(out.phi.get(0, 0, 0))
-        });
+    group("ablation_smoothing_fusion");
+    let mut out = State::like(&st);
+    bench("full_sweep", 20, || {
+        smooth_full(&geom, 0.1, &st, &mut out, region);
+        out.phi.get(0, 0, 0)
     });
-    group.bench_function("former_plus_later", |b| {
-        let mut out = State::like(&st);
-        b.iter(|| {
-            smooth_rows(&geom, 0.1, &st, &mut out, region, RowMask::L, false);
-            smooth_rows(&geom, 0.1, &st, &mut out, region, RowMask::L_PRIME, true);
-            std::hint::black_box(out.phi.get(0, 0, 0))
-        });
+    let mut out = State::like(&st);
+    bench("former_plus_later", 20, || {
+        smooth_rows(&geom, 0.1, &st, &mut out, region, RowMask::L, false);
+        smooth_rows(&geom, 0.1, &st, &mut out, region, RowMask::L_PRIME, true);
+        out.phi.get(0, 0, 0)
     });
-    group.finish();
 }
 
-fn operator_kernels(c: &mut Criterion) {
+fn operator_kernels() {
     let (geom, sa, st, mut diag) = setup();
     let region = geom.interior();
     diag.update_surface(&geom, &sa, &st, region.y0 - 1, region.y1 + 1);
     apply_c(&geom, &sa, &st, &mut diag, region, &ZContext::Serial, true).unwrap();
-    let mut group = c.benchmark_group("operator_kernels");
-    group.bench_function("adaptation_tendency", |b| {
-        let mut tend = State::like(&st);
-        b.iter(|| {
-            agcm_core::adaptation::adaptation_tendency(&geom, &st, &diag, &mut tend, region);
-            std::hint::black_box(tend.u.get(0, 0, 0))
-        });
+    group("operator_kernels");
+    let mut tend = State::like(&st);
+    bench("adaptation_tendency", 20, || {
+        agcm_core::adaptation::adaptation_tendency(&geom, &st, &diag, &mut tend, region);
+        tend.u.get(0, 0, 0)
     });
-    group.bench_function("advection_tendency", |b| {
-        let mut tend = State::like(&st);
-        b.iter(|| {
-            agcm_core::advection::advection_tendency(&geom, &st, &diag, &mut tend, region);
-            std::hint::black_box(tend.u.get(0, 0, 0))
-        });
+    let mut tend = State::like(&st);
+    bench("advection_tendency", 20, || {
+        agcm_core::advection::advection_tendency(&geom, &st, &diag, &mut tend, region);
+        tend.u.get(0, 0, 0)
     });
-    group.bench_function("operator_c", |b| {
-        b.iter(|| {
-            apply_c(&geom, &sa, &st, &mut diag, region, &ZContext::Serial, true).unwrap();
-            std::hint::black_box(diag.gw.get(0, 0, 0))
-        });
+    bench("operator_c", 20, || {
+        apply_c(&geom, &sa, &st, &mut diag, region, &ZContext::Serial, true).unwrap();
+        diag.gw.get(0, 0, 0)
     });
-    group.finish();
 }
 
-criterion_group!(benches, approx_iteration, smoothing_split, operator_kernels);
-criterion_main!(benches);
+fn main() {
+    approx_iteration();
+    smoothing_split();
+    operator_kernels();
+}

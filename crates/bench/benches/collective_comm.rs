@@ -3,88 +3,68 @@
 //! the paper's Theorem 4.2 cites the ring family as bandwidth-optimal for
 //! the long vectors the summation operator `C` reduces.
 
+use agcm_bench::timing::{bench, group};
 use agcm_comm::{AllreduceAlgo, ReduceOp, Universe};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 const RANKS: usize = 4;
 
-fn allreduce_algorithms(c: &mut Criterion) {
-    let mut group = c.benchmark_group("allreduce");
-    group.sample_size(20);
+fn allreduce_algorithms() {
+    group("allreduce");
     for elems in [512usize, 8192, 131_072] {
-        group.throughput(Throughput::Bytes((elems * 8) as u64));
         for (name, algo) in [
             ("ring", AllreduceAlgo::Ring),
             ("recursive_doubling", AllreduceAlgo::RecursiveDoubling),
         ] {
-            group.bench_with_input(
-                BenchmarkId::new(name, elems),
-                &elems,
-                |b, &elems| {
-                    b.iter(|| {
-                        let sums = Universe::run(RANKS, move |comm| {
-                            let mut data = vec![comm.rank() as f64 + 1.0; elems];
-                            for _ in 0..4 {
-                                comm.allreduce(ReduceOp::Sum, &mut data, algo).unwrap();
-                            }
-                            data[0]
-                        });
-                        std::hint::black_box(sums)
-                    });
-                },
-            );
+            bench(&format!("{name}/{elems}"), 10, move || {
+                Universe::run(RANKS, move |comm| {
+                    let mut data = vec![comm.rank() as f64 + 1.0; elems];
+                    for _ in 0..4 {
+                        comm.allreduce(ReduceOp::Sum, &mut data, algo).unwrap();
+                    }
+                    data[0]
+                })
+            });
         }
     }
-    group.finish();
 }
 
-fn c_operator_collective(c: &mut Criterion) {
+fn c_operator_collective() {
     // the exact shape of the operator C's collective: an allgather of
     // per-rank column block sums (one call per C application)
-    let mut group = c.benchmark_group("c_operator_allgather");
-    group.sample_size(20);
+    group("c_operator_allgather");
     for cols in [720usize, 720 * 6] {
-        group.throughput(Throughput::Bytes((cols * 8) as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(cols), &cols, |b, &cols| {
-            b.iter(|| {
-                let out = Universe::run(RANKS, move |comm| {
-                    let data = vec![1.0; cols];
-                    let mut acc = 0.0;
-                    for _ in 0..4 {
-                        let g = comm.allgather(&data).unwrap();
-                        acc += g[0];
-                    }
-                    acc
-                });
-                std::hint::black_box(out)
-            });
+        bench(&format!("cols={cols}"), 10, move || {
+            Universe::run(RANKS, move |comm| {
+                let data = vec![1.0; cols];
+                let mut acc = 0.0;
+                for _ in 0..4 {
+                    let g = comm.allgather(&data).unwrap();
+                    acc += g[0];
+                }
+                acc
+            })
         });
     }
-    group.finish();
 }
 
-fn filter_transpose(c: &mut Criterion) {
+fn filter_transpose() {
     // the X-Y decomposition's distributed-filter transposes (Figure 6's
     // dominating term): one alltoallv each way
-    let mut group = c.benchmark_group("filter_alltoall");
-    group.sample_size(20);
+    group("filter_alltoall");
     for rows in [32usize, 256] {
         let per_dest = rows * 720 / RANKS / RANKS;
-        group.throughput(Throughput::Bytes((per_dest * RANKS * 8) as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(rows), &per_dest, |b, &pd| {
-            b.iter(|| {
-                let out = Universe::run(RANKS, move |comm| {
-                    let send: Vec<Vec<f64>> =
-                        (0..RANKS).map(|d| vec![d as f64; pd]).collect();
-                    let r = comm.alltoallv(&send).unwrap();
-                    r[0].first().copied().unwrap_or(0.0)
-                });
-                std::hint::black_box(out)
-            });
+        bench(&format!("rows={rows}"), 10, move || {
+            Universe::run(RANKS, move |comm| {
+                let send: Vec<Vec<f64>> = (0..RANKS).map(|d| vec![d as f64; per_dest]).collect();
+                let r = comm.alltoallv(&send).unwrap();
+                r[0].first().copied().unwrap_or(0.0)
+            })
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, allreduce_algorithms, c_operator_collective, filter_transpose);
-criterion_main!(benches);
+fn main() {
+    allreduce_algorithms();
+    c_operator_collective();
+    filter_transpose();
+}

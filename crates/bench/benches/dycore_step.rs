@@ -6,13 +6,13 @@
 //! communication behaviour is what the `figures` binary models from the
 //! counted traffic.
 
+use agcm_bench::timing::{bench, group};
 use agcm_comm::Universe;
 use agcm_core::init;
 use agcm_core::par::{Alg1Model, CaModel};
 use agcm_core::serial::{Iteration, SerialModel};
 use agcm_core::ModelConfig;
 use agcm_mesh::ProcessGrid;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_config() -> ModelConfig {
     let mut cfg = ModelConfig::test_medium();
@@ -20,64 +20,54 @@ fn bench_config() -> ModelConfig {
     cfg
 }
 
-fn serial_steps(c: &mut Criterion) {
+fn serial_steps() {
     let cfg = bench_config();
-    let mut group = c.benchmark_group("serial_step");
+    group("serial_step");
     for (name, variant) in [
         ("exact", Iteration::Exact),
         ("approximate", Iteration::Approximate),
     ] {
-        group.bench_function(BenchmarkId::from_parameter(name), |b| {
-            let mut model = SerialModel::new(&cfg, variant).unwrap();
-            let ic = init::perturbed_rest(model.geom(), 150.0, 1.0, 5);
-            model.set_state(&ic);
-            b.iter(|| {
-                model.step();
-                std::hint::black_box(model.state.phi.get(0, 0, 0))
-            });
+        let mut model = SerialModel::new(&cfg, variant).unwrap();
+        let ic = init::perturbed_rest(model.geom(), 150.0, 1.0, 5);
+        model.set_state(&ic);
+        bench(name, 10, || {
+            model.step();
+            model.state.phi.get(0, 0, 0)
         });
     }
-    group.finish();
 }
 
-fn parallel_steps(c: &mut Criterion) {
+fn parallel_steps() {
     let cfg = bench_config();
-    let mut group = c.benchmark_group("parallel_4ranks");
-    group.sample_size(10);
+    group("parallel_4ranks");
     let steps = 3usize;
 
     let cfg1 = cfg.clone();
-    group.bench_function("alg1_yz_3steps", |b| {
-        b.iter(|| {
-            let cfg = cfg1.clone();
-            let out = Universe::run(4, move |comm| {
-                let mut m =
-                    Alg1Model::new(&cfg, ProcessGrid::yz(4, 1).unwrap(), comm).unwrap();
-                let ic = init::perturbed_rest(m.geom(), 150.0, 1.0, 5);
-                m.set_state(&ic);
-                m.run(comm, steps).unwrap();
-                m.state.max_abs()
-            });
-            std::hint::black_box(out)
-        });
+    bench("alg1_yz_3steps", 5, move || {
+        let cfg = cfg1.clone();
+        Universe::run(4, move |comm| {
+            let mut m = Alg1Model::new(&cfg, ProcessGrid::yz(4, 1).unwrap(), comm).unwrap();
+            let ic = init::perturbed_rest(m.geom(), 150.0, 1.0, 5);
+            m.set_state(&ic);
+            m.run(comm, steps).unwrap();
+            m.state.max_abs()
+        })
     });
 
     let cfg2 = cfg.clone();
-    group.bench_function("alg2_ca_3steps", |b| {
-        b.iter(|| {
-            let cfg = cfg2.clone();
-            let out = Universe::run(4, move |comm| {
-                let mut m = CaModel::new(&cfg, ProcessGrid::yz(4, 1).unwrap(), comm).unwrap();
-                let ic = init::perturbed_rest(m.geom(), 150.0, 1.0, 5);
-                m.set_state(&ic);
-                m.run(comm, steps).unwrap();
-                m.state.max_abs()
-            });
-            std::hint::black_box(out)
-        });
+    bench("alg2_ca_3steps", 5, move || {
+        let cfg = cfg2.clone();
+        Universe::run(4, move |comm| {
+            let mut m = CaModel::new(&cfg, ProcessGrid::yz(4, 1).unwrap(), comm).unwrap();
+            let ic = init::perturbed_rest(m.geom(), 150.0, 1.0, 5);
+            m.set_state(&ic);
+            m.run(comm, steps).unwrap();
+            m.state.max_abs()
+        })
     });
-    group.finish();
 }
 
-criterion_group!(benches, serial_steps, parallel_steps);
-criterion_main!(benches);
+fn main() {
+    serial_steps();
+    parallel_steps();
+}

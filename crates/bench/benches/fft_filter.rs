@@ -1,8 +1,8 @@
 //! FFT and polar-filter kernels — the compute side of the operator `F̃`
 //! whose *communication* the Y-Z decomposition eliminates (§4.2.1).
 
+use agcm_bench::timing::{bench, group};
 use agcm_fft::{fft, ifft, irfft, rfft, Complex, FourierFilter};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 fn latitudes(ny: usize) -> Vec<f64> {
     (0..ny)
@@ -10,61 +10,52 @@ fn latitudes(ny: usize) -> Vec<f64> {
         .collect()
 }
 
-fn fft_sizes(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fft_forward");
+fn fft_sizes() {
+    group("fft_forward");
     for n in [180usize, 360, 720, 1440] {
-        group.throughput(Throughput::Elements(n as u64));
         let x: Vec<Complex> = (0..n)
             .map(|i| Complex::new((i as f64 * 0.1).sin(), (i as f64 * 0.2).cos()))
             .collect();
-        group.bench_with_input(BenchmarkId::from_parameter(n), &x, |b, x| {
-            b.iter(|| std::hint::black_box(fft(x)));
-        });
+        bench(&format!("n={n}"), 50, || fft(&x));
     }
-    group.finish();
 }
 
-fn fft_roundtrip(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fft_roundtrip");
+fn fft_roundtrip() {
+    group("fft_roundtrip");
     let n = 720;
-    let x: Vec<Complex> = (0..n).map(|i| Complex::new((i as f64 * 0.3).sin(), 0.0)).collect();
-    group.bench_function("complex_720", |b| {
-        b.iter(|| std::hint::black_box(ifft(&fft(&x))));
-    });
+    let x: Vec<Complex> = (0..n)
+        .map(|i| Complex::new((i as f64 * 0.3).sin(), 0.0))
+        .collect();
+    bench("complex_720", 50, || ifft(&fft(&x)));
     let xr: Vec<f64> = (0..n).map(|i| (i as f64 * 0.3).sin()).collect();
-    group.bench_function("real_720", |b| {
-        b.iter(|| {
-            let spec = rfft(&xr);
-            std::hint::black_box(irfft(&spec, n))
-        });
+    bench("real_720", 50, || {
+        let spec = rfft(&xr);
+        irfft(&spec, n)
     });
-    group.finish();
 }
 
-fn filter_rows(c: &mut Criterion) {
-    let mut group = c.benchmark_group("polar_filter");
+fn filter_rows() {
+    group("polar_filter");
     let nx = 720;
     let lats = latitudes(360);
     let filter = FourierFilter::with_default_cutoff(nx, &lats);
     let row: Vec<f64> = (0..nx).map(|i| ((i * 7) % 13) as f64).collect();
     // a strongly damped polar row and an untouched equatorial one
-    group.bench_function("polar_row", |b| {
-        let mut r = row.clone();
-        b.iter(|| {
-            r.copy_from_slice(&row);
-            filter.apply_row(0, &mut r);
-            std::hint::black_box(r[0])
-        });
+    let mut r = row.clone();
+    bench("polar_row", 100, || {
+        r.copy_from_slice(&row);
+        filter.apply_row(0, &mut r);
+        r[0]
     });
-    group.bench_function("equatorial_row_noop", |b| {
-        let mut r = row.clone();
-        b.iter(|| {
-            filter.apply_row(180, &mut r);
-            std::hint::black_box(r[0])
-        });
+    let mut r = row.clone();
+    bench("equatorial_row_noop", 100, || {
+        filter.apply_row(180, &mut r);
+        r[0]
     });
-    group.finish();
 }
 
-criterion_group!(benches, fft_sizes, fft_roundtrip, filter_rows);
-criterion_main!(benches);
+fn main() {
+    fft_sizes();
+    fft_roundtrip();
+    filter_rows();
+}

@@ -3,10 +3,10 @@
 //! original schedule) versus two deep ones (the communication-avoiding
 //! schedule), on real thread-backed ranks.
 
+use agcm_bench::timing::{bench, group};
 use agcm_comm::Universe;
 use agcm_core::par::{ExField, HaloExchanger};
 use agcm_mesh::{Decomposition, Field2, Field3, HaloWidths, ProcessGrid};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 const RANKS: usize = 4;
 const EXTENTS: (usize, usize, usize) = (96, 48, 16);
@@ -41,79 +41,69 @@ fn run_exchanges(rounds: usize, depth: usize, fields3: usize) -> f64 {
     out[0]
 }
 
-fn schedule_comparison(c: &mut Criterion) {
-    let mut group = c.benchmark_group("halo_schedule");
-    group.sample_size(20);
+fn schedule_comparison() {
+    group("halo_schedule");
     // original: 13 one-deep exchanges of 4 arrays
-    group.bench_function("original_13x_depth1", |b| {
-        b.iter(|| std::hint::black_box(run_exchanges(13, 1, 3)));
-    });
+    bench("original_13x_depth1", 10, || run_exchanges(13, 1, 3));
     // communication-avoiding: 2 deep exchanges of 7/5 arrays (approximated
     // as 2 x 6 here)
-    group.bench_function("ca_2x_depth5", |b| {
-        b.iter(|| std::hint::black_box(run_exchanges(2, 5, 5)));
-    });
-    group.finish();
+    bench("ca_2x_depth5", 10, || run_exchanges(2, 5, 5));
 }
 
-fn halo_depth_ablation(c: &mut Criterion) {
+fn halo_depth_ablation() {
     // fixed total sweep budget of 12: depth d needs ceil(12/d) exchanges —
     // the frequency/volume trade-off at the heart of §4.3.1
-    let mut group = c.benchmark_group("halo_depth_ablation");
-    group.sample_size(20);
+    group("halo_depth_ablation");
     for depth in [1usize, 2, 3, 4, 6] {
         let rounds = 12usize.div_ceil(depth);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(depth),
-            &(rounds, depth),
-            |b, &(rounds, depth)| {
-                b.iter(|| std::hint::black_box(run_exchanges(rounds, depth, 4)));
-            },
-        );
-    }
-    group.finish();
-}
-
-fn overlap_vs_blocking(c: &mut Criterion) {
-    // post/compute/finish vs post+finish back-to-back (§4.3.1's overlap)
-    let mut group = c.benchmark_group("overlap");
-    group.sample_size(20);
-    for overlapped in [false, true] {
-        let name = if overlapped { "post_compute_finish" } else { "blocking" };
-        group.bench_function(name, |b| {
-            b.iter(|| {
-                let out = Universe::run(RANKS, move |comm| {
-                    let d = decomp();
-                    let sub = d.subdomain(comm.rank());
-                    let (nx, ny, nz) = sub.extents();
-                    let h = HaloWidths::uniform(2);
-                    let mut f = Field3::new(nx, ny, nz, h);
-                    let mut ex = HaloExchanger::new(d, comm.rank());
-                    let mut acc = 0.0f64;
-                    for _ in 0..6 {
-                        let mut fields = [ExField::F3(&mut f)];
-                        let pending = ex.post_sends(comm, h, &mut fields).unwrap();
-                        if overlapped {
-                            // "inner computation" between post and finish
-                            for i in 0..20_000u64 {
-                                acc += (i as f64).sqrt();
-                            }
-                        }
-                        ex.finish_recvs(comm, pending, &mut fields).unwrap();
-                        if !overlapped {
-                            for i in 0..20_000u64 {
-                                acc += (i as f64).sqrt();
-                            }
-                        }
-                    }
-                    acc
-                });
-                std::hint::black_box(out)
-            });
+        bench(&format!("depth={depth}"), 10, move || {
+            run_exchanges(rounds, depth, 4)
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, schedule_comparison, halo_depth_ablation, overlap_vs_blocking);
-criterion_main!(benches);
+fn overlap_vs_blocking() {
+    // post/compute/finish vs post+finish back-to-back (§4.3.1's overlap)
+    group("overlap");
+    for overlapped in [false, true] {
+        let name = if overlapped {
+            "post_compute_finish"
+        } else {
+            "blocking"
+        };
+        bench(name, 10, move || {
+            Universe::run(RANKS, move |comm| {
+                let d = decomp();
+                let sub = d.subdomain(comm.rank());
+                let (nx, ny, nz) = sub.extents();
+                let h = HaloWidths::uniform(2);
+                let mut f = Field3::new(nx, ny, nz, h);
+                let mut ex = HaloExchanger::new(d, comm.rank());
+                let mut acc = 0.0f64;
+                for _ in 0..6 {
+                    let mut fields = [ExField::F3(&mut f)];
+                    let pending = ex.post_sends(comm, h, &mut fields).unwrap();
+                    if overlapped {
+                        // "inner computation" between post and finish
+                        for i in 0..20_000u64 {
+                            acc += (i as f64).sqrt();
+                        }
+                    }
+                    ex.finish_recvs(comm, pending, &mut fields).unwrap();
+                    if !overlapped {
+                        for i in 0..20_000u64 {
+                            acc += (i as f64).sqrt();
+                        }
+                    }
+                }
+                acc
+            })
+        });
+    }
+}
+
+fn main() {
+    schedule_comparison();
+    halo_depth_ablation();
+    overlap_vs_blocking();
+}

@@ -16,6 +16,8 @@ use agcm_core::analysis::{predict_step_mode, AlgKind, CaMode, StepCost};
 use agcm_core::ModelConfig;
 use agcm_mesh::ProcessGrid;
 
+pub mod timing;
+
 /// The rank counts of the paper's evaluation.
 pub const PAPER_RANKS: [usize; 4] = [128, 256, 512, 1024];
 

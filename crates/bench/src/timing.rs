@@ -1,0 +1,34 @@
+//! Minimal wall-clock benchmark loop used by the `benches/` harnesses.
+//!
+//! The workspace builds fully offline, so the benches are plain
+//! `harness = false` binaries over this loop instead of a framework: each
+//! case is warmed up once, timed `iters` times, and reported as
+//! min / median / max.  Run with `cargo bench` as usual.
+
+use std::time::{Duration, Instant};
+
+/// Time `f` `iters` times (after one warm-up call) and print a one-line
+/// summary.  Returns the median iteration time.
+pub fn bench<T>(name: &str, iters: usize, mut f: impl FnMut() -> T) -> Duration {
+    std::hint::black_box(f());
+    let mut times: Vec<Duration> = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        times.push(t0.elapsed());
+    }
+    times.sort();
+    let median = times[times.len() / 2];
+    println!(
+        "{name:<44} min {:>12?}  median {:>12?}  max {:>12?}  ({iters} iters)",
+        times[0],
+        median,
+        times[times.len() - 1],
+    );
+    median
+}
+
+/// Print a benchmark-group header.
+pub fn group(name: &str) {
+    println!("\n== {name} ==");
+}

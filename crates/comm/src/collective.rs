@@ -68,7 +68,8 @@ impl Communicator {
     pub fn barrier(&self) -> CommResult<()> {
         self.bump_coll_seq();
         let p = self.size();
-        self.stats().record_collective(CollectiveKind::Barrier, p, 0);
+        self.stats()
+            .record_collective(CollectiveKind::Barrier, p, 0);
         let mut k = 0u32;
         let mut step = 1usize;
         while step < p {
@@ -89,12 +90,7 @@ impl Communicator {
     }
 
     /// In-place allreduce.
-    pub fn allreduce(
-        &self,
-        op: ReduceOp,
-        data: &mut [f64],
-        algo: AllreduceAlgo,
-    ) -> CommResult<()> {
+    pub fn allreduce(&self, op: ReduceOp, data: &mut [f64], algo: AllreduceAlgo) -> CommResult<()> {
         self.bump_coll_seq();
         let p = self.size();
         self.stats()
@@ -186,7 +182,7 @@ impl Communicator {
         // Send results back to the folded (odd) ranks.
         if r < 2 * rem {
             let tag = self.next_coll_tag(63);
-            if r % 2 == 0 {
+            if r.is_multiple_of(2) {
                 self.send_raw(r + 1, tag, data.to_vec())?;
             } else {
                 let incoming = self.recv_raw(r - 1, tag)?;
@@ -318,10 +314,10 @@ impl Communicator {
         if self.rank() == root {
             let mut out: Vec<Vec<f64>> = vec![Vec::new(); p];
             out[root] = data.to_vec();
-            for r in 0..p {
+            for (r, slot) in out.iter_mut().enumerate() {
                 if r != root {
                     let tag = self.next_coll_tag(0);
-                    out[r] = self.recv_raw(r, tag)?;
+                    *slot = self.recv_raw(r, tag)?;
                 }
             }
             Ok(Some(out))
@@ -402,8 +398,7 @@ mod tests {
         for p in [1usize, 2, 3, 4, 5, 8] {
             for n in [1usize, 3, 7, 16, 33] {
                 let results = Universe::run(p, |comm| {
-                    let mut data: Vec<f64> =
-                        (0..n).map(|i| (comm.rank() + i) as f64).collect();
+                    let mut data: Vec<f64> = (0..n).map(|i| (comm.rank() + i) as f64).collect();
                     comm.allreduce(ReduceOp::Sum, &mut data, AllreduceAlgo::Ring)
                         .unwrap();
                     data
@@ -539,10 +534,7 @@ mod tests {
     #[test]
     fn alltoallv_wrong_bufcount() {
         let results = Universe::run(2, |comm| comm.alltoallv(&[vec![1.0]]).err());
-        assert!(matches!(
-            results[0],
-            Some(CommError::CollectiveMismatch(_))
-        ));
+        assert!(matches!(results[0], Some(CommError::CollectiveMismatch(_))));
     }
 
     #[test]

@@ -15,6 +15,8 @@
 
 pub mod collective;
 pub mod error;
+#[cfg(loom)]
+mod loom_model;
 pub mod model;
 pub mod runtime;
 pub mod stats;
@@ -22,5 +24,5 @@ pub mod stats;
 pub use collective::{AllreduceAlgo, ReduceOp};
 pub use error::{CommError, CommResult};
 pub use model::{p2p_only_delta, CostModel};
-pub use runtime::{Communicator, Universe};
+pub use runtime::{default_timeout, Communicator, Universe};
 pub use stats::{CollectiveEvent, CollectiveKind, CommStats, StatsSnapshot};

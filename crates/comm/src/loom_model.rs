@@ -1,0 +1,104 @@
+//! `loom`-based concurrency model of the runtime's handshake primitives.
+//!
+//! Compiled only under `RUSTFLAGS="--cfg loom"` with the `loom` crate
+//! vendored (it is not available in the offline build environment; the
+//! exhaustive interleaving explorer in `tests/interleavings.rs` is the
+//! always-on fallback covering the same matching semantics at the message
+//! level).  Under loom, these models check the *memory-ordering* level the
+//! explorer abstracts away: every permitted reordering of the channel
+//! hand-off and the unexpected-queue publication.
+
+#[cfg(test)]
+mod tests {
+    use loom::sync::mpsc::channel;
+    use loom::sync::{Arc, Mutex};
+    use loom::thread;
+
+    /// The send/recv hand-off: an eager send into the channel must be
+    /// visible to a receive that drains it, under every memory ordering.
+    #[test]
+    fn eager_send_handoff_is_visible() {
+        loom::model(|| {
+            let (tx, rx) = channel::<(u32, Vec<f64>)>();
+            let t = thread::spawn(move || {
+                tx.send((7, vec![1.0, 2.0])).unwrap();
+            });
+            let (tag, data) = rx.recv().unwrap();
+            assert_eq!(tag, 7);
+            assert_eq!(data.len(), 2);
+            t.join().unwrap();
+        });
+    }
+
+    /// Two producers into one mailbox with an unexpected-message queue:
+    /// matching by tag must never lose or duplicate a message regardless
+    /// of arrival interleaving — the `Mailbox::pending` invariant.
+    #[test]
+    fn pending_queue_never_loses_messages() {
+        loom::model(|| {
+            let (tx, rx) = channel::<(usize, u32)>();
+            let tx2 = tx.clone();
+            let a = thread::spawn(move || tx.send((1, 0xA)).unwrap());
+            let b = thread::spawn(move || tx2.send((2, 0xB)).unwrap());
+            let pending = Mutex::new(Vec::new());
+            // receive tag 0xB first, then 0xA: park non-matches
+            for want in [0xB_u32, 0xA] {
+                let mut got = None;
+                let mut pend = pending.lock().unwrap();
+                if let Some(pos) = pend.iter().position(|&(_, t)| t == want) {
+                    got = Some(pend.remove(pos));
+                }
+                drop(pend);
+                while got.is_none() {
+                    let env = rx.recv().unwrap();
+                    if env.1 == want {
+                        got = Some(env);
+                    } else {
+                        pending.lock().unwrap().push(env);
+                    }
+                }
+            }
+            assert!(pending.lock().unwrap().is_empty());
+            a.join().unwrap();
+            b.join().unwrap();
+        });
+    }
+
+    /// The collective rendezvous skeleton (leaves -> root -> leaves) is
+    /// deadlock-free under every schedule loom can produce.
+    #[test]
+    fn gather_bcast_rendezvous_completes() {
+        loom::model(|| {
+            let (to_root_tx, to_root_rx) = channel::<usize>();
+            let from_root: Arc<
+                [(
+                    loom::sync::mpsc::Sender<usize>,
+                    Mutex<Option<loom::sync::mpsc::Receiver<usize>>>,
+                ); 2],
+            > = Arc::new(std::array::from_fn(|_| {
+                let (tx, rx) = channel();
+                (tx, Mutex::new(Some(rx)))
+            }));
+            let mut leaves = Vec::new();
+            for leaf in 0..2 {
+                let tx = to_root_tx.clone();
+                let fr = Arc::clone(&from_root);
+                leaves.push(thread::spawn(move || {
+                    tx.send(leaf).unwrap();
+                    let rx = fr[leaf].1.lock().unwrap().take().unwrap();
+                    rx.recv().unwrap()
+                }));
+            }
+            let mut sum = 0;
+            for _ in 0..2 {
+                sum += to_root_rx.recv().unwrap();
+            }
+            for leaf in 0..2 {
+                from_root[leaf].0.send(sum).unwrap();
+            }
+            for l in leaves {
+                assert_eq!(l.join().unwrap(), 1);
+            }
+        });
+    }
+}

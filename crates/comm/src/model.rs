@@ -220,7 +220,10 @@ pub fn p2p_only_delta(d: &StatsSnapshot, events: &[CollectiveEvent]) -> StatsSna
             CollectiveKind::Bcast => {
                 // binomial: a rank sends/recvs <= log2 p messages; count the
                 // average of 1 recv + forwarded sends ~ log2(p) bound
-                (p.ilog2() as u64 + 1, (p.ilog2() as u64 + 1) * e.elems as u64)
+                (
+                    p.ilog2() as u64 + 1,
+                    (p.ilog2() as u64 + 1) * e.elems as u64,
+                )
             }
             CollectiveKind::Reduce => (1, e.elems as u64),
             CollectiveKind::Allgather => (p - 1, (p - 1) * e.elems as u64),

@@ -23,12 +23,28 @@
 
 use crate::error::{CommError, CommResult};
 use crate::stats::CommStats;
-use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
+
+/// Default deadlock-detection timeout: `AGCM_COMM_TIMEOUT_MS` (milliseconds)
+/// if set in the environment, otherwise 30 s.  Tests that exercise failure
+/// paths should either set the env var for the whole run or call
+/// [`Communicator::set_timeout`] / [`Universe::run_with_timeout`] so
+/// expected deadlocks fail in milliseconds.
+pub fn default_timeout() -> Duration {
+    static MS: OnceLock<u64> = OnceLock::new();
+    let ms = *MS.get_or_init(|| {
+        std::env::var("AGCM_COMM_TIMEOUT_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(30_000)
+    });
+    Duration::from_millis(ms)
+}
 
 /// Tags with this bit set are reserved for collectives.
 pub(crate) const COLLECTIVE_TAG_BIT: u32 = 0x8000_0000;
@@ -64,7 +80,7 @@ impl Universe {
         let mut senders = Vec::with_capacity(p);
         let mut receivers = Vec::with_capacity(p);
         for _ in 0..p {
-            let (tx, rx) = unbounded::<Envelope>();
+            let (tx, rx) = channel::<Envelope>();
             senders.push(tx);
             receivers.push(rx);
         }
@@ -91,6 +107,19 @@ impl Universe {
             }
         });
         out.into_iter().map(|v| v.expect("joined")).collect()
+    }
+
+    /// Like [`Universe::run`], but with an explicit deadlock-detection
+    /// timeout applied to every rank's world communicator before `f` runs.
+    pub fn run_with_timeout<T, F>(p: usize, timeout: Duration, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(&mut Communicator) -> T + Sync,
+    {
+        Self::run(p, move |comm| {
+            comm.set_timeout(timeout);
+            f(comm)
+        })
     }
 
     /// Number of ranks.
@@ -141,7 +170,7 @@ impl Communicator {
             ctx: 0,
             rank,
             members: Arc::new((0..size).collect()),
-            timeout: Cell::new(Duration::from_secs(30)),
+            timeout: Cell::new(default_timeout()),
             coll_seq: Cell::new(0),
             stats: CommStats::new(),
         }
@@ -167,9 +196,14 @@ impl Communicator {
         &self.stats
     }
 
-    /// Change the deadlock-detection timeout (default 30 s).
+    /// Change the deadlock-detection timeout (default: [`default_timeout`]).
     pub fn set_timeout(&self, t: Duration) {
         self.timeout.set(t);
+    }
+
+    /// The currently configured deadlock-detection timeout.
+    pub fn timeout(&self) -> Duration {
+        self.timeout.get()
     }
 
     fn check_rank(&self, r: usize) -> CommResult<()> {
@@ -319,7 +353,12 @@ impl Communicator {
         }
         self.bcast(0, &mut base)?;
         let base = base[0] as u64;
-        let color_index = colors.iter().position(|&c| c == color).expect("own color");
+        // Both lookups are guaranteed by construction (our own triple is in
+        // the allgather result); corruption of the exchanged triples must
+        // surface as a typed error, not a panic inside the runtime.
+        let color_index = colors.iter().position(|&c| c == color).ok_or_else(|| {
+            CommError::CollectiveMismatch(format!("split: own color {color} missing from gather"))
+        })?;
         let members: Vec<usize> = triples
             .iter()
             .filter(|t| t.0 == color)
@@ -329,7 +368,12 @@ impl Communicator {
         let new_rank = members
             .iter()
             .position(|&g| g == my_global)
-            .expect("member of own color group");
+            .ok_or_else(|| {
+                CommError::CollectiveMismatch(format!(
+                    "split: rank {} missing from its color group {color}",
+                    self.rank
+                ))
+            })?;
         Ok(Communicator {
             shared: Arc::clone(&self.shared),
             mailbox: Rc::clone(&self.mailbox),
@@ -407,8 +451,28 @@ mod tests {
             }
         });
         match &results[1] {
-            Some(CommError::DeadlockTimeout { src: 0, tag: 42, .. }) => {}
+            Some(CommError::DeadlockTimeout {
+                src: 0, tag: 42, ..
+            }) => {}
             other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn run_with_timeout_applies_to_all_ranks() {
+        let results = Universe::run_with_timeout(2, Duration::from_millis(20), |comm| {
+            assert_eq!(comm.timeout(), Duration::from_millis(20));
+            if comm.rank() == 1 {
+                comm.recv(0, 99).err()
+            } else {
+                None
+            }
+        });
+        match &results[1] {
+            Some(CommError::DeadlockTimeout {
+                src: 0, tag: 99, ..
+            }) => {}
+            other => panic!("expected fast deadlock, got {other:?}"),
         }
     }
 

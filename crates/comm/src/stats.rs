@@ -12,9 +12,8 @@
 //! z-direction `allreduce` of the summation operator `C`, say) still lands
 //! in the owning rank's totals.
 
-use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, MutexGuard};
 
 /// Which collective operation an event describes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -69,6 +68,15 @@ impl CommStats {
         CommStats::default()
     }
 
+    /// Lock the event log, recovering from poisoning (a panicking rank must
+    /// not wedge the survivors' bookkeeping).
+    fn events(&self) -> MutexGuard<'_, Vec<CollectiveEvent>> {
+        self.inner
+            .events
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
     /// Record a point-to-point send of `elems` `f64` values.
     pub fn record_send(&self, elems: usize) {
         self.inner.p2p_sends.fetch_add(1, Ordering::Relaxed);
@@ -91,7 +99,7 @@ impl CommStats {
         self.inner
             .collective_elems
             .fetch_add(elems as u64, Ordering::Relaxed);
-        self.inner.events.lock().push(CollectiveEvent {
+        self.events().push(CollectiveEvent {
             kind,
             comm_size,
             elems,
@@ -112,17 +120,12 @@ impl CommStats {
 
     /// All collective events recorded so far (clone).
     pub fn collective_events(&self) -> Vec<CollectiveEvent> {
-        self.inner.events.lock().clone()
+        self.events().clone()
     }
 
     /// Number of collective events of a given kind.
     pub fn count_collectives(&self, kind: CollectiveKind) -> usize {
-        self.inner
-            .events
-            .lock()
-            .iter()
-            .filter(|e| e.kind == kind)
-            .count()
+        self.events().iter().filter(|e| e.kind == kind).count()
     }
 }
 

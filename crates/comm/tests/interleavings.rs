@@ -1,0 +1,282 @@
+//! Exhaustive model checking of the runtime's message-matching semantics.
+//!
+//! `loom` is not available offline, so this is the fallback the design
+//! calls for: a small state-space explorer over a model that mirrors
+//! `Communicator::{send, recv}` exactly — eager buffered sends into a
+//! per-destination FIFO arrival queue, receives that drain the queue into
+//! an unexpected-message list until the `(src, tag)` match arrives — and a
+//! DFS over **every** interleaving of rank micro-steps (with memoization,
+//! so the exploration is over reachable states, not paths).
+//!
+//! Checked properties, over all interleavings:
+//! 1. quiescence — schedules that should complete, complete (no reachable
+//!    stuck state);
+//! 2. confluence — every receive obtains the *same* message in every
+//!    interleaving (per-channel FIFO + tag matching is deterministic, the
+//!    property the halo exchanger's correctness rests on);
+//! 3. broken schedules get stuck on every maximal path, never silently
+//!    mis-deliver.
+//!
+//! The final test drives the real thread-backed runtime through the same
+//! programs to pin the model to the implementation.
+
+use std::collections::{HashMap, HashSet};
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+enum Op {
+    Send { dst: usize, tag: u32 },
+    Recv { src: usize, tag: u32 },
+}
+
+/// Envelope in flight or parked in the unexpected queue: (src, tag, id).
+type Env = (usize, u32, usize);
+
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct State {
+    pc: Vec<usize>,
+    /// Per-destination arrival queue (the mpsc channel), FIFO.
+    chan: Vec<Vec<Env>>,
+    /// Per-rank unexpected-message queue (`Mailbox::pending`).
+    pending: Vec<Vec<Env>>,
+}
+
+struct Explorer {
+    progs: Vec<Vec<Op>>,
+    /// Unique id of each send op: `ids[rank][op index]`.
+    ids: Vec<Vec<usize>>,
+    /// (rank, op index) of a recv -> set of message ids it ever received.
+    outcomes: HashMap<(usize, usize), HashSet<usize>>,
+    seen: HashSet<State>,
+    stuck: Vec<State>,
+    completions: usize,
+}
+
+impl Explorer {
+    fn new(progs: Vec<Vec<Op>>) -> Self {
+        let mut next = 0;
+        let ids = progs
+            .iter()
+            .map(|p| {
+                p.iter()
+                    .map(|op| match op {
+                        Op::Send { .. } => {
+                            next += 1;
+                            next - 1
+                        }
+                        Op::Recv { .. } => usize::MAX,
+                    })
+                    .collect()
+            })
+            .collect();
+        Explorer {
+            progs,
+            ids,
+            outcomes: HashMap::new(),
+            seen: HashSet::new(),
+            stuck: Vec::new(),
+            completions: 0,
+        }
+    }
+
+    /// Try to execute one micro-step of `r`; `None` when blocked or done.
+    fn step(&mut self, st: &State, r: usize) -> Option<State> {
+        let i = st.pc[r];
+        if i >= self.progs[r].len() {
+            return None;
+        }
+        let mut nxt = st.clone();
+        nxt.pc[r] += 1;
+        match self.progs[r][i] {
+            Op::Send { dst, tag } => {
+                nxt.chan[dst].push((r, tag, self.ids[r][i]));
+                Some(nxt)
+            }
+            Op::Recv { src, tag } => {
+                // 1. the unexpected queue (swap_remove order is irrelevant
+                //    to matching: the position scan is front-to-back)
+                if let Some(pos) = nxt.pending[r]
+                    .iter()
+                    .position(|&(s, t, _)| s == src && t == tag)
+                {
+                    let (_, _, id) = nxt.pending[r].remove(pos);
+                    self.outcomes.entry((r, i)).or_default().insert(id);
+                    return Some(nxt);
+                }
+                // 2. drain the arrival queue, parking non-matches
+                while !nxt.chan[r].is_empty() {
+                    let env = nxt.chan[r].remove(0);
+                    if env.0 == src && env.1 == tag {
+                        self.outcomes.entry((r, i)).or_default().insert(env.2);
+                        return Some(nxt);
+                    }
+                    nxt.pending[r].push(env);
+                }
+                None // would block (the runtime's timeout path)
+            }
+        }
+    }
+
+    fn explore(&mut self) {
+        let p = self.progs.len();
+        let init = State {
+            pc: vec![0; p],
+            chan: vec![Vec::new(); p],
+            pending: vec![Vec::new(); p],
+        };
+        let mut stack = vec![init];
+        while let Some(st) = stack.pop() {
+            if !self.seen.insert(st.clone()) {
+                continue;
+            }
+            let mut moved = false;
+            for r in 0..p {
+                if let Some(nxt) = self.step(&st, r) {
+                    moved = true;
+                    stack.push(nxt);
+                }
+            }
+            if !moved {
+                if (0..p).all(|r| st.pc[r] >= self.progs[r].len()) {
+                    self.completions += 1;
+                } else {
+                    self.stuck.push(st);
+                }
+            }
+        }
+    }
+
+    fn assert_quiescent_and_confluent(&self) {
+        assert!(
+            self.stuck.is_empty(),
+            "reachable stuck state: pcs {:?}",
+            self.stuck.first().map(|s| s.pc.clone())
+        );
+        assert!(self.completions >= 1, "no completed interleaving");
+        for ((r, i), ids) in &self.outcomes {
+            assert_eq!(
+                ids.len(),
+                1,
+                "recv at rank {r} op {i} got different messages across \
+                 interleavings: {ids:?}"
+            );
+        }
+    }
+}
+
+const S: fn(usize, u32) -> Op = |dst, tag| Op::Send { dst, tag };
+const R: fn(usize, u32) -> Op = |src, tag| Op::Recv { src, tag };
+
+#[test]
+fn halo_exchange_ring_is_quiescent_and_confluent() {
+    // 3 ranks on a ring, each sends both ways then receives both ways —
+    // the shape of one HaloExchanger pass (sends first, then recvs)
+    let progs = (0..3)
+        .map(|r: usize| {
+            let left = (r + 2) % 3;
+            let right = (r + 1) % 3;
+            vec![S(left, 1), S(right, 2), R(right, 1), R(left, 2)]
+        })
+        .collect();
+    let mut e = Explorer::new(progs);
+    e.explore();
+    e.assert_quiescent_and_confluent();
+    assert!(
+        e.seen.len() > 50,
+        "exploration covered {} states",
+        e.seen.len()
+    );
+}
+
+#[test]
+fn fifo_keeps_same_tag_messages_in_posted_order() {
+    // two messages on the *same* (src, dst, tag) channel: every
+    // interleaving must deliver them in posted order — this is what lets
+    // HaloExchanger reuse tags across steps once seq is folded in
+    let progs = vec![vec![S(1, 7), S(1, 7)], vec![R(0, 7), R(0, 7)]];
+    let mut e = Explorer::new(progs);
+    e.explore();
+    e.assert_quiescent_and_confluent();
+    let first = e.outcomes[&(1, 0)].iter().next().copied().unwrap();
+    let second = e.outcomes[&(1, 1)].iter().next().copied().unwrap();
+    assert!(first < second, "FIFO violated: {first} after {second}");
+}
+
+#[test]
+fn unexpected_queue_allows_out_of_order_tags() {
+    // receiver asks for tag B before tag A while the sender posted A then
+    // B: the pending queue must park A and still complete every time
+    let progs = vec![vec![S(1, 0xA), S(1, 0xB)], vec![R(0, 0xB), R(0, 0xA)]];
+    let mut e = Explorer::new(progs);
+    e.explore();
+    e.assert_quiescent_and_confluent();
+}
+
+#[test]
+fn gather_bcast_collective_pattern_completes() {
+    // the p2p skeleton of a root collective: leaves send to root, root
+    // answers — no interleaving of the 3 ranks can wedge it
+    let progs = vec![
+        vec![R(1, 1), R(2, 1), S(1, 2), S(2, 2)],
+        vec![S(0, 1), R(0, 2)],
+        vec![S(0, 1), R(0, 2)],
+    ];
+    let mut e = Explorer::new(progs);
+    e.explore();
+    e.assert_quiescent_and_confluent();
+}
+
+#[test]
+fn missing_send_wedges_every_interleaving() {
+    let progs = vec![
+        vec![S(1, 1)],
+        vec![R(0, 1), R(0, 99)], // nobody ever sends tag 99
+    ];
+    let mut e = Explorer::new(progs);
+    e.explore();
+    assert_eq!(e.completions, 0, "a lost message must never complete");
+    assert!(!e.stuck.is_empty());
+    // and the messages that *did* flow were still delivered uniquely
+    assert_eq!(e.outcomes[&(1, 0)].len(), 1);
+}
+
+#[test]
+fn mismatched_tag_wedges_instead_of_misdelivering() {
+    let progs = vec![vec![S(1, 3)], vec![R(0, 4)]];
+    let mut e = Explorer::new(progs);
+    e.explore();
+    assert_eq!(e.completions, 0);
+    assert!(
+        e.outcomes.is_empty(),
+        "no recv may consume a wrong-tag message"
+    );
+}
+
+/// Pin the model to the implementation: the same programs on the real
+/// thread-backed runtime, with the scheduler perturbing interleavings.
+#[test]
+fn real_runtime_agrees_with_model() {
+    use agcm_comm::Universe;
+    use std::time::Duration;
+    for trial in 0..8u64 {
+        let got = Universe::run(3, move |comm| {
+            comm.set_timeout(Duration::from_secs(5));
+            let r = comm.rank();
+            let left = (r + 2) % 3;
+            let right = (r + 1) % 3;
+            // perturb timing so different trials exercise different
+            // real interleavings
+            if (r as u64 + trial).is_multiple_of(3) {
+                std::thread::yield_now();
+            }
+            comm.send(left, 1, &[r as f64]).unwrap();
+            comm.send(right, 2, &[r as f64 + 10.0]).unwrap();
+            let a = comm.recv(right, 1).unwrap();
+            let b = comm.recv(left, 2).unwrap();
+            (a[0], b[0])
+        });
+        for (r, &(a, b)) in got.iter().enumerate() {
+            assert_eq!(a, ((r + 1) % 3) as f64, "trial {trial} rank {r}");
+            assert_eq!(b, ((r + 2) % 3) as f64 + 10.0, "trial {trial} rank {r}");
+        }
+    }
+}

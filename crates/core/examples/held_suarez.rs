@@ -68,9 +68,8 @@ fn main() {
             / geom.nx as f64;
         let lat = geom.grid.latitude(j as usize).to_degrees();
         let bar_len = (mean.abs() * 4.0).min(40.0) as usize;
-        let bar: String = std::iter::repeat(if mean >= 0.0 { '>' } else { '<' })
-            .take(bar_len)
-            .collect();
+        let bar: String =
+            std::iter::repeat_n(if mean >= 0.0 { '>' } else { '<' }, bar_len).collect();
         println!("  {lat:6.1}°  {mean:8.3} m/s  {bar}");
     }
 

@@ -28,7 +28,11 @@ fn main() {
     model.set_state(&ic);
 
     let b0 = local_budget(model.geom(), &model.state);
-    println!("initial:  energy {:12.4e}   mass {:12.4e}", b0.energy(), b0.mass);
+    println!(
+        "initial:  energy {:12.4e}   mass {:12.4e}",
+        b0.energy(),
+        b0.mass
+    );
 
     for step in 1..=10 {
         model.step();

@@ -83,8 +83,7 @@ pub fn adaptation_tendency(
                         let p_v = 0.5 * (diag.cap_p.get(i, j) + diag.cap_p.get(i, j + 1));
                         let pes_v = 0.5 * (diag.pes.get(i, j) + diag.pes.get(i, j + 1));
                         let phi_v = 0.5 * (arg.phi.get(i, j, k) + arg.phi.get(i, j + 1, k));
-                        let p_t1 = p_v
-                            * (diag.phi_p.get(i, j + 1, k) - diag.phi_p.get(i, j, k))
+                        let p_t1 = p_v * (diag.phi_p.get(i, j + 1, k) - diag.phi_p.get(i, j, k))
                             / (a * dt);
                         let p_t2 = b * phi_v / pes_v
                             * (diag.pes.get(i, j + 1) - diag.pes.get(i, j))
@@ -168,7 +167,16 @@ mod tests {
         let region = s.geom.interior();
         s.diag
             .update_surface(&s.geom, &s.sa, &s.state, region.y0 - 1, region.y1 + 1);
-        apply_c(&s.geom, &s.sa, &s.state, &mut s.diag, region, &ZContext::Serial, true).unwrap();
+        apply_c(
+            &s.geom,
+            &s.sa,
+            &s.state,
+            &mut s.diag,
+            region,
+            &ZContext::Serial,
+            true,
+        )
+        .unwrap();
         let mut tend = State::like(&s.state);
         adaptation_tendency(&s.geom, &s.state, &s.diag, &mut tend, region);
         tend
@@ -234,7 +242,18 @@ mod tests {
             for j in 0..s.geom.ny as isize {
                 for i in 0..nx {
                     // sawtooth creating divergence at i where U jumps up
-                    s.state.u.set(i, j, k, if i == 5 { -10.0 } else if i == 6 { 10.0 } else { 0.0 });
+                    s.state.u.set(
+                        i,
+                        j,
+                        k,
+                        if i == 5 {
+                            -10.0
+                        } else if i == 6 {
+                            10.0
+                        } else {
+                            0.0
+                        },
+                    );
                 }
             }
         }

@@ -75,7 +75,8 @@ pub fn advection_tendency(
                     // --- L2: v sinθ advection along θ; faces j, j-1 at the
                     //     U point's longitude ---
                     let vs_s = 0.5 * (v_at(i - 1, j, k) + v_at(i, j, k)) * geom.sin_v(j);
-                    let vs_n = 0.5 * (v_at(i - 1, j - 1, k) + v_at(i, j - 1, k)) * geom.sin_v(j - 1);
+                    let vs_n =
+                        0.5 * (v_at(i - 1, j - 1, k) + v_at(i, j - 1, k)) * geom.sin_v(j - 1);
                     let ff_s = 0.5 * (arg.u.get(i, j, k) + arg.u.get(i, j + 1, k));
                     let ff_n = 0.5 * (arg.u.get(i, j - 1, k) + arg.u.get(i, j, k));
                     let l2 = (2.0 * (ff_s * vs_s - ff_n * vs_n) - f * (vs_s - vs_n))
@@ -85,8 +86,8 @@ pub fn advection_tendency(
                     let sd_hi = 0.5 * (sdot_at(i - 1, j, k + 1) + sdot_at(i, j, k + 1));
                     let fk_lo = 0.5 * (arg.u.get(i, j, k - 1) + arg.u.get(i, j, k));
                     let fk_hi = 0.5 * (arg.u.get(i, j, k) + arg.u.get(i, j, k + 1));
-                    let l3 = (2.0 * (fk_hi * sd_hi - fk_lo * sd_lo) - f * (sd_hi - sd_lo))
-                        / (2.0 * ds);
+                    let l3 =
+                        (2.0 * (fk_hi * sd_hi - fk_lo * sd_lo) - f * (sd_hi - sd_lo)) / (2.0 * ds);
                     tend.u.set(i, j, k, -(l1 + l2 + l3));
                 }
                 // =============== V (at V point i, j+1/2, k) ===============
@@ -149,8 +150,8 @@ pub fn advection_tendency(
                     let sd_hi = sdot_at(i, j, k + 1);
                     let fk_lo = 0.5 * (arg.phi.get(i, j, k - 1) + arg.phi.get(i, j, k));
                     let fk_hi = 0.5 * (arg.phi.get(i, j, k) + arg.phi.get(i, j, k + 1));
-                    let l3 = (2.0 * (fk_hi * sd_hi - fk_lo * sd_lo) - f * (sd_hi - sd_lo))
-                        / (2.0 * ds);
+                    let l3 =
+                        (2.0 * (fk_hi * sd_hi - fk_lo * sd_lo) - f * (sd_hi - sd_lo)) / (2.0 * ds);
                     tend.phi.set(i, j, k, -(l1 + l2 + l3));
                 }
             }
@@ -204,7 +205,16 @@ mod tests {
         s.diag
             .update_surface(&s.geom, &s.sa, &s.state, region.y0 - 1, region.y1 + 1);
         // σ̇ diagnostics from the adaptation's C operator
-        apply_c(&s.geom, &s.sa, &s.state, &mut s.diag, region, &ZContext::Serial, true).unwrap();
+        apply_c(
+            &s.geom,
+            &s.sa,
+            &s.state,
+            &mut s.diag,
+            region,
+            &ZContext::Serial,
+            true,
+        )
+        .unwrap();
         let mut tend = State::like(&s.state);
         advection_tendency(&s.geom, &s.state, &s.diag, &mut tend, region);
         tend

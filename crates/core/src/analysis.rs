@@ -195,8 +195,7 @@ fn exchange_traffic(
 fn active_flags(cfg: &ModelConfig) -> Vec<bool> {
     let grid = cfg.grid().expect("valid config");
     let lats: Vec<f64> = (0..grid.ny()).map(|j| grid.latitude(j)).collect();
-    let filter =
-        agcm_fft::FourierFilter::new(grid.nx(), &lats, cfg.filter_cutoff_deg.to_radians());
+    let filter = agcm_fft::FourierFilter::new(grid.nx(), &lats, cfg.filter_cutoff_deg.to_radians());
     let _ = build_filter; // the models use the same profiles
     (0..grid.ny()).map(|j| filter.is_active(j)).collect()
 }
@@ -345,22 +344,8 @@ pub fn predict_rank_mode(
 
     match alg {
         AlgKind::OriginalXY | AlgKind::OriginalYZ => {
-            let depth_sweep = HaloWidths {
-                xm: 3,
-                xp: 3,
-                ym: 1,
-                yp: 1,
-                zm: 1,
-                zp: 1,
-            };
-            let depth_smooth = HaloWidths {
-                xm: 2,
-                xp: 2,
-                ym: 2,
-                yp: 2,
-                zm: 0,
-                zp: 0,
-            };
+            let depth_sweep = crate::par::schedule::depth_sweep();
+            let depth_smooth = crate::par::schedule::depth_smooth();
             let state4 = [(false, f3), (false, f3), (false, f3), (true, f2)];
             let adv5 = [
                 (false, f3),
@@ -413,38 +398,8 @@ pub fn predict_rank_mode(
                 CaMode::Grouped => ca_group_size(cfg, decomp.process_grid()),
                 CaMode::PaperIdeal => (total, true, 3),
             };
-            let deep = HaloWidths {
-                xm: 3,
-                xp: 3,
-                ym: g + if fuse { 2 } else { 0 },
-                yp: g + if fuse { 2 } else { 0 },
-                zm: g,
-                zp: g,
-            };
-            let group = HaloWidths {
-                xm: 3,
-                xp: 3,
-                ym: g,
-                yp: g,
-                zm: g,
-                zp: g,
-            };
-            let sweep1 = HaloWidths {
-                xm: 3,
-                xp: 3,
-                ym: 1,
-                yp: 1,
-                zm: 1,
-                zp: 1,
-            };
-            let shallow = HaloWidths {
-                xm: 3,
-                xp: 3,
-                ym: ga,
-                yp: ga,
-                zm: ga,
-                zp: ga,
-            };
+            let ca = crate::par::schedule::ca_depths(g, fuse, ga);
+            let (deep, group, sweep1, shallow) = (ca.deep, ca.group, ca.sweep, ca.shallow);
             let deep7 = [
                 (false, f3),
                 (false, f3),
@@ -501,9 +456,8 @@ pub fn predict_rank_mode(
                 }
             }
             // advection exchanges; the first overlaps the inner sweep
-            let inner_work = gamma
-                * W_ADVECT
-                * ((nyl.saturating_sub(2)) * nzl.saturating_sub(2) * nxl) as f64;
+            let inner_work =
+                gamma * W_ADVECT * ((nyl.saturating_sub(2)) * nzl.saturating_sub(2) * nxl) as f64;
             for s in 1..=3usize {
                 if (s - 1) % ga != 0 {
                     continue;
@@ -659,9 +613,24 @@ mod tests {
         // Figure 8's ordering: CA < YZ < XY in total step time at p = 512
         let cfg = paper_cfg();
         let model = CostModel::tianhe2();
-        let ca = predict_step(&cfg, AlgKind::CommAvoiding, ProcessGrid::yz(64, 8).unwrap(), &model);
-        let yz = predict_step(&cfg, AlgKind::OriginalYZ, ProcessGrid::yz(64, 8).unwrap(), &model);
-        let xy = predict_step(&cfg, AlgKind::OriginalXY, ProcessGrid::xy(32, 16).unwrap(), &model);
+        let ca = predict_step(
+            &cfg,
+            AlgKind::CommAvoiding,
+            ProcessGrid::yz(64, 8).unwrap(),
+            &model,
+        );
+        let yz = predict_step(
+            &cfg,
+            AlgKind::OriginalYZ,
+            ProcessGrid::yz(64, 8).unwrap(),
+            &model,
+        );
+        let xy = predict_step(
+            &cfg,
+            AlgKind::OriginalXY,
+            ProcessGrid::xy(32, 16).unwrap(),
+            &model,
+        );
         assert!(
             ca.total_s() < yz.total_s(),
             "CA {} must beat YZ {}",
@@ -687,9 +656,18 @@ mod tests {
     fn predictions_scale_down_with_more_ranks() {
         let cfg = paper_cfg();
         let model = CostModel::tianhe2();
-        let t256 = predict_step(&cfg, AlgKind::CommAvoiding, ProcessGrid::yz(32, 8).unwrap(), &model);
-        let t1024 =
-            predict_step(&cfg, AlgKind::CommAvoiding, ProcessGrid::yz(128, 8).unwrap(), &model);
+        let t256 = predict_step(
+            &cfg,
+            AlgKind::CommAvoiding,
+            ProcessGrid::yz(32, 8).unwrap(),
+            &model,
+        );
+        let t1024 = predict_step(
+            &cfg,
+            AlgKind::CommAvoiding,
+            ProcessGrid::yz(128, 8).unwrap(),
+            &model,
+        );
         assert!(t1024.compute_s < t256.compute_s);
         assert!(t1024.total_s() < t256.total_s());
     }

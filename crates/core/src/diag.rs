@@ -96,7 +96,8 @@ impl Diag {
                 let q = state.psa.get(i, j);
                 let d2x = (state.psa.get(i + 1, j) - 2.0 * q + state.psa.get(i - 1, j))
                     / (dl * dl * s * s);
-                let dyn_ = (state.psa.get(i, j + 1) - q) * s_s - (q - state.psa.get(i, j - 1)) * s_n;
+                let dyn_ =
+                    (state.psa.get(i, j + 1) - q) * s_s - (q - state.psa.get(i, j - 1)) * s_n;
                 let d2y = dyn_ / (dt * dt * s);
                 self.dsa.set(i, j, coef * (d2x + d2y) / (a * a));
             }
@@ -157,8 +158,8 @@ impl Diag {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::ModelConfig;
     use crate::boundary;
+    use crate::config::ModelConfig;
     use agcm_mesh::{Decomposition, HaloWidths, ProcessGrid};
     use std::sync::Arc;
 
@@ -254,12 +255,7 @@ mod tests {
         diag.update_dp(&geom, &state, 0, ny, 0, 1, 0);
         let mut total = 0.0;
         for j in 0..ny {
-            total += diag
-                .dp
-                .row(0, nx, j, 0)
-                .iter()
-                .sum::<f64>()
-                * geom.sin_c(j);
+            total += diag.dp.row(0, nx, j, 0).iter().sum::<f64>() * geom.sin_c(j);
         }
         let scale: f64 = (0..ny).map(|j| geom.sin_c(j)).sum::<f64>() * nx as f64;
         assert!(

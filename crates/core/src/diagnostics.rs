@@ -178,8 +178,7 @@ mod tests {
         let results = Universe::run(4, |comm| {
             let cfg = ModelConfig::test_medium();
             let grid = Arc::new(cfg.grid().unwrap());
-            let d =
-                Decomposition::new(cfg.extents(), ProcessGrid::yz(2, 2).unwrap()).unwrap();
+            let d = Decomposition::new(cfg.extents(), ProcessGrid::yz(2, 2).unwrap()).unwrap();
             let geom = crate::geometry::LocalGeometry::new(
                 &cfg,
                 grid,
@@ -199,8 +198,7 @@ mod tests {
         let cfg = ModelConfig::test_medium();
         let grid = Arc::new(cfg.grid().unwrap());
         let d = Decomposition::new(cfg.extents(), ProcessGrid::serial()).unwrap();
-        let geom =
-            crate::geometry::LocalGeometry::new(&cfg, grid, &d, 0, HaloWidths::uniform(1));
+        let geom = crate::geometry::LocalGeometry::new(&cfg, grid, &d, 0, HaloWidths::uniform(1));
         let st = init::perturbed_rest(&geom, 100.0, 2.0, 5);
         let serial = local_budget(&geom, &st);
         assert!((serial.energy() - results[0].energy()).abs() < 1e-9 * serial.energy().max(1.0));

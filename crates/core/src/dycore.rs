@@ -136,16 +136,15 @@ impl Engine {
             debug_assert!(self.c_cached, "approximate iteration without a cache");
             // stencil (Â) parts still evaluate at `arg`
             self.diag.update_dsa(&self.geom, arg, region.y0, region.y1);
-            self.diag
-                .update_dp(
-                    &self.geom,
-                    arg,
-                    region.y0,
-                    region.y1,
-                    region.z0,
-                    region.z1,
-                    if self.px1 { 0 } else { 1 },
-                );
+            self.diag.update_dp(
+                &self.geom,
+                arg,
+                region.y0,
+                region.y1,
+                region.z0,
+                region.z1,
+                if self.px1 { 0 } else { 1 },
+            );
         }
         adaptation_tendency(&self.geom, arg, &self.diag, tend, region);
         self.apply_filter(tend, region, fctx)?;

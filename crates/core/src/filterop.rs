@@ -110,13 +110,22 @@ pub fn filter_state_distributed(
     for (r, &(fi, j, k)) in locs.iter().enumerate() {
         let src = &rows[r * nx_local..(r + 1) * nx_local];
         match fi {
-            0 => state.u.row_mut(0, nx_local as isize, j, k).copy_from_slice(src),
-            1 => state.v.row_mut(0, nx_local as isize, j, k).copy_from_slice(src),
+            0 => state
+                .u
+                .row_mut(0, nx_local as isize, j, k)
+                .copy_from_slice(src),
+            1 => state
+                .v
+                .row_mut(0, nx_local as isize, j, k)
+                .copy_from_slice(src),
             2 => state
                 .phi
                 .row_mut(0, nx_local as isize, j, k)
                 .copy_from_slice(src),
-            _ => state.psa.row_mut(0, nx_local as isize, j).copy_from_slice(src),
+            _ => state
+                .psa
+                .row_mut(0, nx_local as isize, j)
+                .copy_from_slice(src),
         }
     }
     Ok(())
@@ -167,8 +176,7 @@ mod tests {
             assert_eq!(st.phi.get(i, jm, 0), before.phi.get(i, jm, 0));
         }
         // polar rows changed (noise damped)
-        let changed = (0..geom.nx as isize)
-            .any(|i| st.phi.get(i, 0, 0) != before.phi.get(i, 0, 0));
+        let changed = (0..geom.nx as isize).any(|i| st.phi.get(i, 0, 0) != before.phi.get(i, 0, 0));
         assert!(changed, "polar row must be filtered");
         // zonal mean preserved on the polar row
         let mean = |f: &agcm_mesh::Field3| {

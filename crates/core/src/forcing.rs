@@ -82,9 +82,7 @@ pub fn apply_held_suarez(
         let gk = geom.global_k(k).clamp(0, grid.nz() as i64 - 1) as usize;
         let t_tilde = stdatm.t_tilde[gk];
         for j in region.y0..region.y1 {
-            let gj = geom
-                .global_j(j)
-                .clamp(0, grid.ny() as i64 - 1) as usize;
+            let gj = geom.global_j(j).clamp(0, grid.ny() as i64 - 1) as usize;
             let lat = grid.latitude(gj);
             let kt = k_t(lat, sigma);
             let temp_fac = (-kt * dt).exp();
@@ -102,9 +100,7 @@ pub fn apply_held_suarez(
                 let t_eq = t_equilibrium(lat, pres);
                 let phi_eq = p_cap * c::R_DRY * (t_eq - t_tilde) / c::B_GRAVITY_WAVE;
                 let phi = state.phi.get(i, j, k);
-                state
-                    .phi
-                    .set(i, j, k, phi_eq + (phi - phi_eq) * temp_fac);
+                state.phi.set(i, j, k, phi_eq + (phi - phi_eq) * temp_fac);
             }
         }
     }
@@ -184,9 +180,9 @@ mod tests {
         let lat = grid.latitude(j as usize);
         let sigma = geom.sigma_c(k);
         let pres = c::P_TOP + sigma * diag.pes.get(3, j);
-        let want = diag.cap_p.get(3, j) * c::R_DRY
-            * (t_equilibrium(lat, pres) - sa.t_tilde[k as usize])
-            / c::B_GRAVITY_WAVE;
+        let want =
+            diag.cap_p.get(3, j) * c::R_DRY * (t_equilibrium(lat, pres) - sa.t_tilde[k as usize])
+                / c::B_GRAVITY_WAVE;
         assert!((st.phi.get(3, j, k) - want).abs() < 1e-9);
         // equator ends warmer than pole at the surface
         assert!(st.phi.get(3, j, k) > st.phi.get(3, 0, k));

@@ -15,10 +15,10 @@ pub mod config;
 pub mod diag;
 pub mod diagnostics;
 pub mod dycore;
+pub mod error;
 pub mod filterop;
 pub mod forcing;
 pub mod geometry;
-pub mod error;
 pub mod init;
 pub mod par;
 pub mod serial;

@@ -69,9 +69,7 @@ impl Alg1Model {
         let rank = comm.rank();
         let geom = LocalGeometry::new(cfg, Arc::clone(&grid), &decomp, rank, halo);
         let exchanger = HaloExchanger::new(decomp.clone(), rank);
-        exchanger
-            .validate_depth(halo)
-            .map_err(ModelError::Config)?;
+        exchanger.validate_depth(halo).map_err(ModelError::Config)?;
 
         let (px, py, pz) = pgrid.dims();
         let (cx, cy, cz) = pgrid.coords(rank);
@@ -90,23 +88,10 @@ impl Alg1Model {
         let state = State::new(engine.geom.nx, engine.geom.ny, engine.geom.nz, halo);
         let scratch = || State::like(&state);
         // adaptation/advection sweeps read one row/level; x needs the full
-        // table extent (3); smoothing needs (2, 2, 0)
-        let depth_sweep = HaloWidths {
-            xm: 3,
-            xp: 3,
-            ym: 1,
-            yp: 1,
-            zm: 1,
-            zp: 1,
-        };
-        let depth_smooth = HaloWidths {
-            xm: 2,
-            xp: 2,
-            ym: 2,
-            yp: 2,
-            zm: 0,
-            zp: 0,
-        };
+        // table extent (3); smoothing needs (2, 2, 0).  Shared with the
+        // static schedule metadata so analyzer and integrator cannot drift.
+        let depth_sweep = super::schedule::depth_sweep();
+        let depth_smooth = super::schedule::depth_smooth();
         Ok(Alg1Model {
             psi: scratch(),
             eta1: scratch(),
@@ -240,27 +225,32 @@ impl Alg1Model {
                 ExField::F2(&mut self.psi.psa),
                 ExField::F3(&mut self.engine.diag.gw),
             ];
-            self.exchanger.exchange(comm, self.depth_sweep, &mut fields)?;
+            self.exchanger
+                .exchange(comm, self.depth_sweep, &mut fields)?;
         }
         if self.engine.px1 {
             // x halo by periodic wrap; under X-Y splits the exchange (and
             // the extended-x computation in apply_c) already covered it
             self.engine.diag.gw.wrap_x_halo();
         }
-        let fctx_local = self.xcomm.is_none();
         macro_rules! fctx {
             () => {
-                if fctx_local {
-                    FilterCtx::Local
-                } else {
-                    FilterCtx::Distributed(self.xcomm.as_ref().unwrap())
+                match self.xcomm.as_ref() {
+                    None => FilterCtx::Local,
+                    Some(x) => FilterCtx::Distributed(x),
                 }
             };
         }
         {
             let f = fctx!();
             self.engine.advection_subupdate(
-                &base, &mut self.psi, &mut self.eta1, &mut self.tend, region, dt2, &f,
+                &base,
+                &mut self.psi,
+                &mut self.eta1,
+                &mut self.tend,
+                region,
+                dt2,
+                &f,
             )?;
         }
         self.exchanger
@@ -268,7 +258,13 @@ impl Alg1Model {
         {
             let f = fctx!();
             self.engine.advection_subupdate(
-                &base, &mut self.eta1, &mut self.eta2, &mut self.tend, region, dt2, &f,
+                &base,
+                &mut self.eta1,
+                &mut self.eta2,
+                &mut self.tend,
+                region,
+                dt2,
+                &f,
             )?;
         }
         self.mid.midpoint_on(&base, &self.eta2, &region);
@@ -278,7 +274,13 @@ impl Alg1Model {
             let f = fctx!();
             let mut zeta3 = std::mem::replace(&mut self.eta1, State::like(&base));
             self.engine.advection_subupdate(
-                &base, &mut self.mid, &mut zeta3, &mut self.tend, region, dt2, &f,
+                &base,
+                &mut self.mid,
+                &mut zeta3,
+                &mut self.tend,
+                region,
+                dt2,
+                &f,
             )?;
             self.eta1 = zeta3;
         }

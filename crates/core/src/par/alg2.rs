@@ -90,47 +90,14 @@ impl CaModel {
             )));
         }
         let (g, fuse, ga) = ca_group_size(cfg, &pgrid);
-        let ysm = g + if fuse { 2 } else { 0 };
-        let deep = HaloWidths {
-            xm: 3,
-            xp: 3,
-            ym: ysm,
-            yp: ysm,
-            zm: g,
-            zp: g,
-        };
-        let group_depth = HaloWidths {
-            xm: 3,
-            xp: 3,
-            ym: g,
-            yp: g,
-            zm: g,
-            zp: g,
-        };
-        let sweep_depth = HaloWidths {
-            xm: 3,
-            xp: 3,
-            ym: 1,
-            yp: 1,
-            zm: 1,
-            zp: 1,
-        };
-        let shallow = HaloWidths {
-            xm: 3,
-            xp: 3,
-            ym: ga,
-            yp: ga,
-            zm: ga,
-            zp: ga,
-        };
-        let smooth_depth = HaloWidths {
-            xm: 2,
-            xp: 2,
-            ym: 2,
-            yp: 2,
-            zm: 0,
-            zp: 0,
-        };
+        // shared with the static schedule metadata so analyzer and
+        // integrator cannot drift
+        let depths = super::schedule::ca_depths(g, fuse, ga);
+        let deep = depths.deep;
+        let group_depth = depths.group;
+        let sweep_depth = depths.sweep;
+        let shallow = depths.shallow;
+        let smooth_depth = depths.smooth;
         // allocate the max of every depth in use
         let halo = deep.max(shallow).max(smooth_depth);
 
@@ -146,7 +113,11 @@ impl CaModel {
 
         let (_, _py, pz) = pgrid.dims();
         let (_, cy, _cz) = pgrid.coords(rank);
-        let zcomm = if pz > 1 { Some(comm.split(cy, rank)?) } else { None };
+        let zcomm = if pz > 1 {
+            Some(comm.split(cy, rank)?)
+        } else {
+            None
+        };
 
         let engine = Engine::new(cfg, geom, true);
         let state = State::new(engine.geom.nx, engine.geom.ny, engine.geom.nz, halo);
@@ -225,7 +196,11 @@ impl CaModel {
         let (ny, nz) = (self.engine.geom.ny, self.engine.geom.nz);
         let d1 = Region {
             y0: if grow.north { 2 } else { 0 },
-            y1: if grow.south { ny as isize - 2 } else { ny as isize },
+            y1: if grow.south {
+                ny as isize - 2
+            } else {
+                ny as isize
+            },
             z0: 0,
             z1: nz as isize,
         };
@@ -316,11 +291,8 @@ impl CaModel {
 
         // ---- separate smoothing exchange when fusion does not fit --------
         if self.pending_smooth && !self.fused_smoothing {
-            self.exchanger.exchange(
-                comm,
-                self.smooth_depth,
-                &mut state_fields(&mut self.state),
-            )?;
+            self.exchanger
+                .exchange(comm, self.smooth_depth, &mut state_fields(&mut self.state))?;
             self.engine.fill(&mut self.state);
             smooth_full(
                 &self.engine.geom,
@@ -366,10 +338,17 @@ impl CaModel {
             }
             // sub-update 2 (fresh C)
             if g == 1 {
-                self.exchanger
-                    .exchange(comm, self.sweep_depth, &mut state_fields(&mut self.eta1))?;
+                self.exchanger.exchange(
+                    comm,
+                    self.sweep_depth,
+                    &mut state_fields(&mut self.eta1),
+                )?;
             }
-            let region2 = if g == 1 { interior } else { dil(valid as isize - 2) };
+            let region2 = if g == 1 {
+                interior
+            } else {
+                dil(valid as isize - 2)
+            };
             {
                 let zctx = match &self.zcomm {
                     Some(z) => ZContext::Parallel(z),
@@ -390,13 +369,24 @@ impl CaModel {
             // sub-update 3 (fresh C at the midpoint).  For g = 1 the
             // midpoint is computed on the interior only — its halos are
             // refreshed by the exchange just below.
-            let mid_region = if g == 1 { interior } else { dil(valid as isize - 2) };
+            let mid_region = if g == 1 {
+                interior
+            } else {
+                dil(valid as isize - 2)
+            };
             self.mid.midpoint_on(&base, &self.eta2, &mid_region);
             if g == 1 {
-                self.exchanger
-                    .exchange(comm, self.sweep_depth, &mut state_fields(&mut self.mid))?;
+                self.exchanger.exchange(
+                    comm,
+                    self.sweep_depth,
+                    &mut state_fields(&mut self.mid),
+                )?;
             }
-            let region3 = if g == 1 { interior } else { dil(valid as isize - 3) };
+            let region3 = if g == 1 {
+                interior
+            } else {
+                dil(valid as isize - 3)
+            };
             {
                 let zctx = match &self.zcomm {
                     Some(z) => ZContext::Parallel(z),

@@ -41,11 +41,19 @@ pub struct HaloExchanger {
     pub exchanges: u64,
 }
 
-fn dir_index(o: (i32, i32, i32)) -> u32 {
+/// Direction-of-travel index for a neighbour offset, `0..27`.  Both sides of
+/// a message compute it from the *sender's* offset: the receiver negates its
+/// own offset to the sender.  Public so the static schedule analyzer
+/// (`agcm-verify`) can reproduce wire tags without executing an exchange.
+pub fn dir_index(o: (i32, i32, i32)) -> u32 {
     ((o.0 + 1) + 3 * (o.1 + 1) + 9 * (o.2 + 1)) as u32
 }
 
-fn tag(seq: u64, dir: u32, field: usize) -> u32 {
+/// Wire tag of one halo message: exchange sequence number (20 bits), the
+/// sender's [`dir_index`] (5 bits) and the field's position in the exchange's
+/// field list (3 bits).  This is the exact tag [`HaloExchanger`] puts on the
+/// wire; `agcm-verify` recomputes it to pair sends with receives statically.
+pub fn wire_tag(seq: u64, dir: u32, field: usize) -> u32 {
     debug_assert!(field < 8 && dir < 27);
     (((seq & 0xFFFFF) as u32) << 8) | (dir << 3) | field as u32
 }
@@ -108,7 +116,7 @@ impl HaloExchanger {
                         f2.pack_box(spec.send.x.clone(), spec.send.y.clone(), &mut buf);
                     }
                 }
-                let t = tag(seq, dir_index(spec.link.offset), fi);
+                let t = wire_tag(seq, dir_index(spec.link.offset), fi);
                 comm.send(spec.link.rank, t, &buf)?;
             }
         }
@@ -132,7 +140,7 @@ impl HaloExchanger {
                 }
                 // the sender's direction is the negation of our offset
                 let (dx, dy, dz) = spec.link.offset;
-                let t = tag(pending.seq, dir_index((-dx, -dy, -dz)), fi);
+                let t = wire_tag(pending.seq, dir_index((-dx, -dy, -dz)), fi);
                 let data = comm.recv(spec.link.rank, t)?;
                 match f {
                     ExField::F3(f3) => {
@@ -235,7 +243,6 @@ mod tests {
 
     #[test]
     fn exchange_fills_halos_with_neighbor_interiors() {
-        let d = decomp(2, 2);
         let results = Universe::run(4, |comm| {
             let d = decomp(2, 2);
             let sub = d.subdomain(comm.rank());
@@ -264,10 +271,9 @@ mod tests {
                 for j in -2..ny as isize + 2 {
                     let gj = sub.y.start as i64 + j as i64;
                     let gk = sub.z.start as i64 + k as i64;
-                    let inside_y = gj >= 0 && gj < 12;
-                    let inside_z = gk >= 0 && gk < 8;
-                    let interior =
-                        (0..ny as isize).contains(&j) && (0..nz as isize).contains(&k);
+                    let inside_y = (0..12).contains(&gj);
+                    let inside_z = (0..8).contains(&gk);
+                    let interior = (0..ny as isize).contains(&j) && (0..nz as isize).contains(&k);
                     if interior || !inside_y || !inside_z {
                         continue;
                     }
@@ -283,7 +289,6 @@ mod tests {
             }
             errs
         });
-        drop(d);
         assert!(results.iter().all(|&e| e == 0), "halo errors: {results:?}");
     }
 

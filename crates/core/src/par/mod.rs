@@ -1,10 +1,13 @@
 //! Parallel models: halo exchange, Algorithm 1 (original) and Algorithm 2
-//! (communication-avoiding).
+//! (communication-avoiding), plus the machine-readable step schedules the
+//! static analyzer (`agcm-verify`) consumes.
 
 pub mod alg1;
 pub mod alg2;
 pub mod exchange;
+pub mod schedule;
 
 pub use alg1::{gather_state_impl, Alg1Model, GlobalState};
 pub use alg2::{gather_ca_state, CaModel};
-pub use exchange::{state_fields, ExField, HaloExchanger};
+pub use exchange::{dir_index, state_fields, wire_tag, ExField, HaloExchanger};
+pub use schedule::{ExchangeOp, FieldShape, StepOp};

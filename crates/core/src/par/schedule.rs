@@ -1,0 +1,386 @@
+//! Machine-readable per-step communication schedules of both parallel
+//! algorithms.
+//!
+//! [`alg1_step`] and [`alg2_step`] list, in program order, every halo
+//! exchange and collective one time step performs at steady state — the
+//! metadata [`super::alg1`] and [`super::alg2`] execute and that the static
+//! analyzer (`agcm-verify`) turns into a send/recv/collective event graph
+//! without running a single rank.  The halo depths here are *the* depths the
+//! integrators use ([`depth_sweep`], [`depth_smooth`], [`ca_depths`]), so
+//! schedule metadata and executing code cannot drift apart.
+//!
+//! "Steady state" means: the operator-`C` cache is warm (`engine.c_cached`,
+//! so Algorithm 2's first sub-update reuses cached outputs — the §4.2.2
+//! approximate iteration) and, for Algorithm 2, the previous step left a
+//! smoothing pending (every step after the first).  The exchange `seq`
+//! numbering below starts at 0 for the step's first exchange; the running
+//! counter of a live [`super::HaloExchanger`] is offset by a constant that
+//! is identical on every rank, so tag matching is unaffected.
+
+use crate::analysis::{ca_group_size, CaMode};
+use crate::config::ModelConfig;
+use agcm_mesh::{HaloWidths, ProcessGrid};
+
+/// Shape of one exchanged array, relative to the rank's subdomain extents
+/// `(nxl, nyl, nzl)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FieldShape {
+    /// A prognostic 3-D field: `(nxl, nyl, nzl)`.
+    Level3,
+    /// An interface 3-D field (`g_w`): `(nxl, nyl, nzl + 1)`.
+    Interface3,
+    /// A surface 2-D field (`p_sa`, `vsum`): `(nxl, nyl, 1)`; never
+    /// exchanged along z.
+    Surface2,
+}
+
+impl FieldShape {
+    /// Local extents of the field on a subdomain of the given extents.
+    pub fn extents(self, sub: (usize, usize, usize)) -> (usize, usize, usize) {
+        let (nx, ny, nz) = sub;
+        match self {
+            FieldShape::Level3 => (nx, ny, nz),
+            FieldShape::Interface3 => (nx, ny, nz + 1),
+            FieldShape::Surface2 => (nx, ny, 1),
+        }
+    }
+
+    /// Whether the field is two-dimensional (skips z-offset neighbours).
+    pub fn is_2d(self) -> bool {
+        matches!(self, FieldShape::Surface2)
+    }
+}
+
+/// The 4-array state exchange: `u`, `v`, `φ`, `p_sa`.
+pub const STATE4: &[FieldShape] = &[
+    FieldShape::Level3,
+    FieldShape::Level3,
+    FieldShape::Level3,
+    FieldShape::Surface2,
+];
+
+/// The 5-array advection exchange: `STATE4` + the frozen `g_w`.
+pub const ADV5: &[FieldShape] = &[
+    FieldShape::Level3,
+    FieldShape::Level3,
+    FieldShape::Level3,
+    FieldShape::Surface2,
+    FieldShape::Interface3,
+];
+
+/// The 7-array deep/group exchange of Algorithm 2: `STATE4` + the cached
+/// `C` outputs `vsum`, `g_w`, `φ'` (the paper's "length of ξ being ten").
+pub const DEEP7: &[FieldShape] = &[
+    FieldShape::Level3,
+    FieldShape::Level3,
+    FieldShape::Level3,
+    FieldShape::Surface2,
+    FieldShape::Surface2,
+    FieldShape::Interface3,
+    FieldShape::Level3,
+];
+
+/// One halo exchange in the step schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExchangeOp {
+    /// What the exchange carries (for reports).
+    pub label: &'static str,
+    /// Halo depth of the exchange.
+    pub depth: HaloWidths,
+    /// The arrays, in wire order: the field index of the tag is the
+    /// position in this slice.
+    pub fields: &'static [FieldShape],
+    /// Whether the integrator splits it into post/compute/finish (§4.3.1).
+    pub overlapped: bool,
+}
+
+/// One entry of a step's communication schedule, in program order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepOp {
+    /// A halo exchange; consumes one exchange `seq` number.
+    Exchange(ExchangeOp),
+    /// One allgather of column block sums over the z-subcommunicator (the
+    /// operator `C`, §4.2.2).  Present only when `p_z > 1`.
+    ZAllgather,
+    /// One alltoallv leg of the distributed polar filter over the
+    /// x-subcommunicator (X-Y decomposition only; two per application).
+    FilterTranspose,
+}
+
+/// Halo depth of the adaptation/advection sweeps of Algorithm 1 (x needs
+/// the full table extent 3; y/z one layer).
+pub fn depth_sweep() -> HaloWidths {
+    HaloWidths {
+        xm: 3,
+        xp: 3,
+        ym: 1,
+        yp: 1,
+        zm: 1,
+        zp: 1,
+    }
+}
+
+/// Halo depth of the smoothing exchange, `(2, 2, 0)` (Table 3).
+pub fn depth_smooth() -> HaloWidths {
+    HaloWidths {
+        xm: 2,
+        xp: 2,
+        ym: 2,
+        yp: 2,
+        zm: 0,
+        zp: 0,
+    }
+}
+
+/// The five halo depths of Algorithm 2, derived from the sweep-group sizes
+/// `(g, fuse, ga)` of [`ca_group_size`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CaDepths {
+    /// First exchange of the step: `g (+2 when the smoothing is fused)`
+    /// layers in y, `g` in z.
+    pub deep: HaloWidths,
+    /// Iteration-aligned group boundary exchanges: `g` layers.
+    pub group: HaloWidths,
+    /// Mid-iteration refresh when `g = 1`: one layer.
+    pub sweep: HaloWidths,
+    /// Advection exchanges: `ga` layers.
+    pub shallow: HaloWidths,
+    /// The separate smoothing exchange when fusion does not fit.
+    pub smooth: HaloWidths,
+}
+
+/// Compute [`CaDepths`] for group sizes `(g, fuse, ga)`.
+pub fn ca_depths(g: usize, fuse: bool, ga: usize) -> CaDepths {
+    let ysm = g + if fuse { 2 } else { 0 };
+    CaDepths {
+        deep: HaloWidths {
+            xm: 3,
+            xp: 3,
+            ym: ysm,
+            yp: ysm,
+            zm: g,
+            zp: g,
+        },
+        group: HaloWidths {
+            xm: 3,
+            xp: 3,
+            ym: g,
+            yp: g,
+            zm: g,
+            zp: g,
+        },
+        sweep: depth_sweep(),
+        shallow: HaloWidths {
+            xm: 3,
+            xp: 3,
+            ym: ga,
+            yp: ga,
+            zm: ga,
+            zp: ga,
+        },
+        smooth: depth_smooth(),
+    }
+}
+
+/// Communication schedule of one Algorithm 1 step ([`super::Alg1Model`])
+/// under `pgrid`: `3M + 4` exchanges, `3M` z-allgathers when `p_z > 1` and
+/// `2(3M + 3)` filter transposes when `p_x > 1`.
+pub fn alg1_step(cfg: &ModelConfig, pgrid: &ProcessGrid) -> Vec<StepOp> {
+    let (px, _, pz) = pgrid.dims();
+    let mut ops = Vec::new();
+    let sweep = depth_sweep();
+    // one filter application = forward + inverse transpose
+    let filter = |ops: &mut Vec<StepOp>| {
+        if px > 1 {
+            ops.push(StepOp::FilterTranspose);
+            ops.push(StepOp::FilterTranspose);
+        }
+    };
+    for _iter in 0..cfg.m_iters {
+        for label in ["adapt ψ", "adapt η₁", "adapt mid"] {
+            ops.push(StepOp::Exchange(ExchangeOp {
+                label,
+                depth: sweep,
+                fields: STATE4,
+                overlapped: false,
+            }));
+            // the sub-update runs C fresh (exact iteration) + one filter
+            if pz > 1 {
+                ops.push(StepOp::ZAllgather);
+            }
+            filter(&mut ops);
+        }
+    }
+    // advection: the frozen g_w travels with the first exchange
+    ops.push(StepOp::Exchange(ExchangeOp {
+        label: "advect ψ+g_w",
+        depth: sweep,
+        fields: ADV5,
+        overlapped: false,
+    }));
+    filter(&mut ops);
+    for label in ["advect η₁", "advect mid"] {
+        ops.push(StepOp::Exchange(ExchangeOp {
+            label,
+            depth: sweep,
+            fields: STATE4,
+            overlapped: false,
+        }));
+        filter(&mut ops);
+    }
+    ops.push(StepOp::Exchange(ExchangeOp {
+        label: "smooth",
+        depth: depth_smooth(),
+        fields: STATE4,
+        overlapped: false,
+    }));
+    ops
+}
+
+/// Communication schedule of one Algorithm 2 step ([`super::CaModel`]) at
+/// steady state: `⌈3M/g⌉ + ⌈3/g_a⌉ (+1 when the smoothing is not fused)`
+/// exchanges and `2M` z-allgathers — the paper's 2 exchanges and the 1/3
+/// collective reduction when the full depth fits (`g = 3M`, fused).
+///
+/// `mode` selects the executable grouped schedule or the paper's idealized
+/// full-depth accounting (see [`CaMode`]); both orderings mirror
+/// `CaModel::step` exactly: an exchange lands before sweep `s` iff
+/// `(s-1) % g == 0`, and sub-updates 2 and 3 of each iteration run the
+/// collective `C` fresh (§4.2.2).
+pub fn alg2_step(cfg: &ModelConfig, pgrid: &ProcessGrid, mode: CaMode) -> Vec<StepOp> {
+    let (_, _, pz) = pgrid.dims();
+    let m = cfg.m_iters;
+    let total = 3 * m;
+    let (g, fuse, ga) = match mode {
+        CaMode::Grouped => ca_group_size(cfg, pgrid),
+        CaMode::PaperIdeal => (total, true, 3),
+    };
+    let d = ca_depths(g, fuse, ga);
+    let mut ops = Vec::new();
+    if !fuse {
+        ops.push(StepOp::Exchange(ExchangeOp {
+            label: "smooth (separate)",
+            depth: d.smooth,
+            fields: STATE4,
+            overlapped: false,
+        }));
+    }
+    for s in 1..=total {
+        if (s - 1) % g == 0 {
+            let op = if s == 1 {
+                ExchangeOp {
+                    label: "deep ξ (fused smoothing)",
+                    depth: d.deep,
+                    fields: DEEP7,
+                    overlapped: true,
+                }
+            } else if (s - 1) % 3 == 0 {
+                ExchangeOp {
+                    label: "group ξ",
+                    depth: d.group,
+                    fields: DEEP7,
+                    overlapped: false,
+                }
+            } else {
+                // g = 1 only: mid-iteration refresh of the evaluation state
+                ExchangeOp {
+                    label: "sweep refresh",
+                    depth: d.sweep,
+                    fields: STATE4,
+                    overlapped: false,
+                }
+            };
+            ops.push(StepOp::Exchange(op));
+        }
+        // sub-updates 2 and 3 run C fresh; sub-update 1 reuses the cache
+        if s % 3 != 1 && pz > 1 {
+            ops.push(StepOp::ZAllgather);
+        }
+    }
+    for s in 1..=3usize {
+        if (s - 1) % ga == 0 {
+            ops.push(StepOp::Exchange(ExchangeOp {
+                label: "advect ψ+g_w",
+                depth: d.shallow,
+                fields: ADV5,
+                overlapped: s == 1,
+            }));
+        }
+    }
+    ops
+}
+
+/// Number of exchanges in a schedule.
+pub fn exchange_count(ops: &[StepOp]) -> u64 {
+    ops.iter()
+        .filter(|o| matches!(o, StepOp::Exchange(_)))
+        .count() as u64
+}
+
+/// Number of collective calls (z-allgathers + filter transposes).
+pub fn collective_count(ops: &[StepOp]) -> u64 {
+    ops.iter()
+        .filter(|o| matches!(o, StepOp::ZAllgather | StepOp::FilterTranspose))
+        .count() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> ModelConfig {
+        ModelConfig::paper_50km()
+    }
+
+    #[test]
+    fn alg1_yz_has_13_exchanges_and_3m_collectives() {
+        let c = cfg();
+        let ops = alg1_step(&c, &ProcessGrid::yz(16, 8).unwrap());
+        assert_eq!(exchange_count(&ops), 3 * c.m_iters as u64 + 4);
+        assert_eq!(collective_count(&ops), 3 * c.m_iters as u64);
+    }
+
+    #[test]
+    fn alg1_xy_has_filter_transposes_instead() {
+        let c = cfg();
+        let ops = alg1_step(&c, &ProcessGrid::xy(16, 8).unwrap());
+        assert_eq!(exchange_count(&ops), 3 * c.m_iters as u64 + 4);
+        // 2 transposes per application, 3M + 3 applications, no allgathers
+        assert_eq!(collective_count(&ops), 2 * (3 * c.m_iters as u64 + 3));
+    }
+
+    #[test]
+    fn alg2_ideal_is_two_exchanges_and_2m_collectives() {
+        let c = cfg();
+        let pg = ProcessGrid::yz(16, 8).unwrap();
+        let ops = alg2_step(&c, &pg, CaMode::PaperIdeal);
+        assert_eq!(exchange_count(&ops), 2); // the paper's 13 -> 2
+        assert_eq!(collective_count(&ops), 2 * c.m_iters as u64);
+    }
+
+    #[test]
+    fn alg2_grouped_matches_exchanges_per_step_formula() {
+        let c = cfg();
+        for (py, pz) in [(16, 8), (64, 8), (128, 8)] {
+            let pg = ProcessGrid::yz(py, pz).unwrap();
+            let (g, fuse, ga) = ca_group_size(&c, &pg);
+            let adapt = if g == 1 {
+                3 * c.m_iters as u64
+            } else {
+                (3 * c.m_iters).div_ceil(g) as u64
+            };
+            let expect = adapt + 3u64.div_ceil(ga as u64) + u64::from(!fuse);
+            let ops = alg2_step(&c, &pg, CaMode::Grouped);
+            assert_eq!(exchange_count(&ops), expect, "py={py} pz={pz}");
+        }
+    }
+
+    #[test]
+    fn serial_grids_have_no_collectives() {
+        let c = cfg();
+        let ops = alg1_step(&c, &ProcessGrid::serial());
+        assert_eq!(collective_count(&ops), 0);
+        let ops = alg2_step(&c, &ProcessGrid::serial(), CaMode::Grouped);
+        assert_eq!(collective_count(&ops), 0);
+    }
+}

@@ -105,21 +105,42 @@ impl SerialModel {
             let base = self.psi.clone();
             self.engine
                 .adaptation_subupdate(
-                    &base, &mut self.psi, &mut self.eta1, &mut self.tend, region, dt1, fresh1,
-                    &zctx, &fctx,
+                    &base,
+                    &mut self.psi,
+                    &mut self.eta1,
+                    &mut self.tend,
+                    region,
+                    dt1,
+                    fresh1,
+                    &zctx,
+                    &fctx,
                 )
                 .expect("serial subupdate cannot fail");
             self.engine
                 .adaptation_subupdate(
-                    &base, &mut self.eta1, &mut self.eta2, &mut self.tend, region, dt1, true,
-                    &zctx, &fctx,
+                    &base,
+                    &mut self.eta1,
+                    &mut self.eta2,
+                    &mut self.tend,
+                    region,
+                    dt1,
+                    true,
+                    &zctx,
+                    &fctx,
                 )
                 .expect("serial subupdate cannot fail");
             self.mid.midpoint_on(&base, &self.eta2, &region);
             let mut eta3 = std::mem::replace(&mut self.eta1, State::like(&base));
             self.engine
                 .adaptation_subupdate(
-                    &base, &mut self.mid, &mut eta3, &mut self.tend, region, dt1, true, &zctx,
+                    &base,
+                    &mut self.mid,
+                    &mut eta3,
+                    &mut self.tend,
+                    region,
+                    dt1,
+                    true,
+                    &zctx,
                     &fctx,
                 )
                 .expect("serial subupdate cannot fail");
@@ -131,19 +152,37 @@ impl SerialModel {
         let base = self.psi.clone();
         self.engine
             .advection_subupdate(
-                &base, &mut self.psi, &mut self.eta1, &mut self.tend, region, dt2, &fctx,
+                &base,
+                &mut self.psi,
+                &mut self.eta1,
+                &mut self.tend,
+                region,
+                dt2,
+                &fctx,
             )
             .expect("serial subupdate cannot fail");
         self.engine
             .advection_subupdate(
-                &base, &mut self.eta1, &mut self.eta2, &mut self.tend, region, dt2, &fctx,
+                &base,
+                &mut self.eta1,
+                &mut self.eta2,
+                &mut self.tend,
+                region,
+                dt2,
+                &fctx,
             )
             .expect("serial subupdate cannot fail");
         self.mid.midpoint_on(&base, &self.eta2, &region);
         let mut zeta3 = std::mem::replace(&mut self.eta1, State::like(&base));
         self.engine
             .advection_subupdate(
-                &base, &mut self.mid, &mut zeta3, &mut self.tend, region, dt2, &fctx,
+                &base,
+                &mut self.mid,
+                &mut zeta3,
+                &mut self.tend,
+                region,
+                dt2,
+                &fctx,
             )
             .expect("serial subupdate cannot fail");
         self.eta1 = zeta3;
@@ -265,9 +304,6 @@ mod tests {
         // flux-form D(P) conserves ∫p'_sa up to the smoothing/filter and
         // D_sa diffusion, all of which preserve the weighted mean closely
         let scale = 150.0 * (m.geom().nx * m.geom().ny) as f64;
-        assert!(
-            (m1 - m0).abs() / scale < 1e-3,
-            "mass drift {m0} -> {m1}"
-        );
+        assert!((m1 - m0).abs() / scale < 1e-3, "mass drift {m0} -> {m1}");
     }
 }

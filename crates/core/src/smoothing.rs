@@ -266,12 +266,8 @@ mod tests {
         // two-pass reference at an interior point
         let (i, j, k) = (5isize, 4isize, 2isize);
         // pass 1: ψ = φ − β/16 δ⁴λ φ on rows j−2..j+2
-        let psi = |jj: isize| {
-            st.phi.get(i, jj, k) - BETA / 16.0 * d4_lambda_f3(&st.phi, i, jj, k)
-        };
-        let d4t: f64 = (-2..=2)
-            .map(|m| A4[(m + 2) as usize] * psi(j + m))
-            .sum();
+        let psi = |jj: isize| st.phi.get(i, jj, k) - BETA / 16.0 * d4_lambda_f3(&st.phi, i, jj, k);
+        let d4t: f64 = (-2..=2).map(|m| A4[(m + 2) as usize] * psi(j + m)).sum();
         let want = psi(j) - BETA / 16.0 * d4t;
         assert!(
             (out.phi.get(i, j, k) - want).abs() < 1e-12,

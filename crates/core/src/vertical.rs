@@ -25,8 +25,8 @@ use crate::diag::Diag;
 use crate::geometry::{LocalGeometry, Region};
 use crate::state::State;
 use crate::stdatm::StandardAtmosphere;
-use agcm_mesh::grid::constants as c;
 use agcm_comm::{CommResult, Communicator};
+use agcm_mesh::grid::constants as c;
 
 /// How the z-direction global sums are realized.
 pub enum ZContext<'a> {
@@ -103,10 +103,11 @@ pub fn apply_c(
         }
     }
     // φ'-integrand c_l = b·Φ·Δσ/(P·σ) at owned levels, on grown rows
-    let integrand = |geom: &LocalGeometry, diag: &Diag, arg: &State, i: isize, j: isize, k: isize| {
-        c::B_GRAVITY_WAVE * arg.phi.get(i, j, k) * geom.dsigma(k)
-            / (diag.cap_p.get(i, j) * geom.sigma_c(k))
-    };
+    let integrand =
+        |geom: &LocalGeometry, diag: &Diag, arg: &State, i: isize, j: isize, k: isize| {
+            c::B_GRAVITY_WAVE * arg.phi.get(i, j, k) * geom.dsigma(k)
+                / (diag.cap_p.get(i, j) * geom.sigma_c(k))
+        };
     for k in 0..nz {
         for (jj, j) in (gy0..gy1).enumerate() {
             let base = (wy + jj) * nxu;
@@ -217,8 +218,8 @@ mod tests {
     use super::*;
     use crate::boundary;
     use crate::config::ModelConfig;
-    use agcm_mesh::{Decomposition, HaloWidths, ProcessGrid};
     use agcm_comm::Universe;
+    use agcm_mesh::{Decomposition, HaloWidths, ProcessGrid};
     use std::sync::Arc;
 
     fn serial_setup(cfg: &ModelConfig) -> (LocalGeometry, StandardAtmosphere, State, Diag) {
@@ -244,7 +245,9 @@ mod tests {
         }
         for j in 0..geom.ny as isize {
             for i in 0..geom.nx as isize {
-                state.psa.set(i, j, amp * ((i * j) as f64 * 0.05).sin() * 30.0);
+                state
+                    .psa
+                    .set(i, j, amp * ((i * j) as f64 * 0.05).sin() * 30.0);
             }
         }
         boundary::enforce_pole_v(state, geom);
@@ -337,8 +340,7 @@ mod tests {
             let results = Universe::run(pz, |comm| {
                 let cfg = ModelConfig::test_medium();
                 let grid = Arc::new(cfg.grid().unwrap());
-                let d =
-                    Decomposition::new(cfg.extents(), ProcessGrid::yz(1, pz).unwrap()).unwrap();
+                let d = Decomposition::new(cfg.extents(), ProcessGrid::yz(1, pz).unwrap()).unwrap();
                 let geom = LocalGeometry::new(
                     &cfg,
                     Arc::clone(&grid),
@@ -362,7 +364,9 @@ mod tests {
                 }
                 for j in 0..geom.ny as isize {
                     for i in 0..geom.nx as isize {
-                        state.psa.set(i, j, 4.0 * ((i * j) as f64 * 0.05).sin() * 30.0);
+                        state
+                            .psa
+                            .set(i, j, 4.0 * ((i * j) as f64 * 0.05).sin() * 30.0);
                     }
                 }
                 boundary::enforce_pole_v(&mut state, &geom);
@@ -372,8 +376,16 @@ mod tests {
                 let mut diag = Diag::new(&geom);
                 let region = geom.interior();
                 diag.update_surface(&geom, &sa, &state, region.y0 - 1, region.y1 + 1);
-                apply_c(&geom, &sa, &state, &mut diag, region, &ZContext::Parallel(comm), true)
-                    .unwrap();
+                apply_c(
+                    &geom,
+                    &sa,
+                    &state,
+                    &mut diag,
+                    region,
+                    &ZContext::Parallel(comm),
+                    true,
+                )
+                .unwrap();
                 // return this rank's gw + phi_p + vsum samples
                 let mut out = Vec::new();
                 for k in 0..geom.nz as isize {
@@ -410,15 +422,29 @@ mod tests {
             let cfg = ModelConfig::test_medium();
             let grid = Arc::new(cfg.grid().unwrap());
             let d = Decomposition::new(cfg.extents(), ProcessGrid::yz(1, 2).unwrap()).unwrap();
-            let geom =
-                LocalGeometry::new(&cfg, Arc::clone(&grid), &d, comm.rank(), HaloWidths::uniform(3));
+            let geom = LocalGeometry::new(
+                &cfg,
+                Arc::clone(&grid),
+                &d,
+                comm.rank(),
+                HaloWidths::uniform(3),
+            );
             let sa = StandardAtmosphere::new(&grid);
             let mut state = State::new(geom.nx, geom.ny, geom.nz, geom.halo);
             boundary::fill_boundaries(&mut state, &geom);
             let mut diag = Diag::new(&geom);
             let region = geom.interior();
             diag.update_surface(&geom, &sa, &state, region.y0 - 1, region.y1 + 1);
-            apply_c(&geom, &sa, &state, &mut diag, region, &ZContext::Parallel(comm), true).unwrap();
+            apply_c(
+                &geom,
+                &sa,
+                &state,
+                &mut diag,
+                region,
+                &ZContext::Parallel(comm),
+                true,
+            )
+            .unwrap();
             comm.stats().snapshot().collective_calls
         });
         assert!(results.iter().all(|&n| n == 1));

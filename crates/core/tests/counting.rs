@@ -29,8 +29,7 @@ fn alg1_exchange_frequency_is_3m_plus_4() {
         let mut cfg = ModelConfig::test_medium();
         cfg.m_iters = m;
         let counts = Universe::run(4, move |comm| {
-            let mut model =
-                Alg1Model::new(&cfg, ProcessGrid::yz(2, 2).unwrap(), comm).unwrap();
+            let mut model = Alg1Model::new(&cfg, ProcessGrid::yz(2, 2).unwrap(), comm).unwrap();
             let ic = init::perturbed_rest(model.geom(), 100.0, 0.0, 1);
             model.set_state(&ic);
             let before = model.exchange_count();

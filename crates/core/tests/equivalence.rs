@@ -160,12 +160,11 @@ fn alg1_and_alg2_agree_to_iteration_accuracy() {
     let d = a1.max_abs_diff(&a2);
     assert!(d > 0.0, "approximate iteration must differ from exact");
     // relative to the solution scale
-    let scale = a1
-        .phi
-        .iter()
-        .fold(0.0f64, |m, &v| m.max(v.abs()))
-        .max(1.0);
-    assert!(d / scale < 0.05, "algorithms diverged: {d} vs scale {scale}");
+    let scale = a1.phi.iter().fold(0.0f64, |m, &v| m.max(v.abs())).max(1.0);
+    assert!(
+        d / scale < 0.05,
+        "algorithms diverged: {d} vs scale {scale}"
+    );
 }
 
 #[test]
@@ -175,11 +174,8 @@ fn gather_reconstructs_decomposed_state() {
     let results = Universe::run(4, move |comm| {
         let cfg = ModelConfig::test_medium();
         let grid = std::sync::Arc::new(cfg.grid().unwrap());
-        let d = agcm_mesh::Decomposition::new(
-            cfg.extents(),
-            ProcessGrid::yz(2, 2).unwrap(),
-        )
-        .unwrap();
+        let d =
+            agcm_mesh::Decomposition::new(cfg.extents(), ProcessGrid::yz(2, 2).unwrap()).unwrap();
         let geom = agcm_core::LocalGeometry::new(
             &cfg,
             grid,
@@ -194,8 +190,7 @@ fn gather_reconstructs_decomposed_state() {
     // compare against the serial construction
     let grid = std::sync::Arc::new(cfg.grid().unwrap());
     let d = agcm_mesh::Decomposition::new(cfg.extents(), ProcessGrid::serial()).unwrap();
-    let geom =
-        agcm_core::LocalGeometry::new(&cfg, grid, &d, 0, agcm_mesh::HaloWidths::uniform(1));
+    let geom = agcm_core::LocalGeometry::new(&cfg, grid, &d, 0, agcm_mesh::HaloWidths::uniform(1));
     let st = init::perturbed_rest(&geom, 100.0, 2.0, 5);
     let serial = GlobalState::from_serial(&st, &geom);
     assert_eq!(gathered.max_abs_diff(&serial), 0.0);

@@ -164,18 +164,16 @@ impl Probe {
                 -dz
             );
         }
-        assert!(!influences.is_empty(), "{what}: probe saw no influence at all");
+        assert!(
+            !influences.is_empty(),
+            "{what}: probe saw no influence at all"
+        );
     }
 }
 
 /// The adaptation tendency with `C` outputs frozen at the base state (the
 /// z-global parts are the collective's, not the stencil's).
-fn adaptation_stencil(
-    geom: &LocalGeometry,
-    sa: &StandardAtmosphere,
-    st: &State,
-    out: &mut State,
-) {
+fn adaptation_stencil(geom: &LocalGeometry, sa: &StandardAtmosphere, st: &State, out: &mut State) {
     let region = geom.interior();
     let mut diag = Diag::new(geom);
     // freeze C at the ZERO state: gw = phi_p = vsum = 0 identically, so no
@@ -254,7 +252,16 @@ fn c_outputs_are_z_global_as_charged_to_the_collective() {
     let run_c = |st: &State| {
         let mut diag = Diag::new(&p.geom);
         diag.update_surface(&p.geom, &p.sa, st, region.y0 - 1, region.y1 + 1);
-        apply_c(&p.geom, &p.sa, st, &mut diag, region, &ZContext::Serial, true).unwrap();
+        apply_c(
+            &p.geom,
+            &p.sa,
+            st,
+            &mut diag,
+            region,
+            &ZContext::Serial,
+            true,
+        )
+        .unwrap();
         diag
     };
     let d0 = run_c(&st0);

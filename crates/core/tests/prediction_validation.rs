@@ -39,8 +39,7 @@ fn flags(cfg: &ModelConfig) -> Vec<bool> {
     // reproduce analysis::active_flags via the public filter
     let grid = cfg.grid().unwrap();
     let lats: Vec<f64> = (0..grid.ny()).map(|j| grid.latitude(j)).collect();
-    let filter =
-        agcm_fft::FourierFilter::new(grid.nx(), &lats, cfg.filter_cutoff_deg.to_radians());
+    let filter = agcm_fft::FourierFilter::new(grid.nx(), &lats, cfg.filter_cutoff_deg.to_radians());
     (0..grid.ny()).map(|j| filter.is_active(j)).collect()
 }
 

@@ -57,7 +57,7 @@ fn ca_adapts_group_size_instead_of_failing() {
         assert_eq!(g, 1);
         assert!(!fuse, "2-row blocks cannot take the +2 smoothing margin");
         // 3M + ceil(3/ga) + 1 separate smoothing
-        assert!(freq >= 10 && freq <= 13, "freq = {freq}");
+        assert!((10..=13).contains(&freq), "freq = {freq}");
     }
 }
 
@@ -110,7 +110,11 @@ fn parallel_run_with_uneven_blocks() {
     s.set_state(&ic);
     s.run(2);
     let serial = agcm_core::par::GlobalState::from_serial(&s.state, s.geom());
-    assert_eq!(gathered.max_abs_diff(&serial), 0.0, "uneven split must be exact");
+    assert_eq!(
+        gathered.max_abs_diff(&serial),
+        0.0,
+        "uneven split must be exact"
+    );
 }
 
 #[test]

@@ -84,8 +84,7 @@ pub fn filter_rows_distributed(
         let w = xs.len();
         debug_assert_eq!(part.len(), n_mine * w);
         for m in 0..n_mine {
-            full[m * nx + xs.start..m * nx + xs.end]
-                .copy_from_slice(&part[m * w..(m + 1) * w]);
+            full[m * nx + xs.start..m * nx + xs.end].copy_from_slice(&part[m * w..(m + 1) * w]);
         }
     }
     for (m, r) in my_rows.clone().enumerate() {
@@ -123,8 +122,7 @@ mod tests {
     fn latitudes(ny: usize) -> Vec<f64> {
         (0..ny)
             .map(|j| {
-                std::f64::consts::FRAC_PI_2
-                    - (j as f64 + 0.5) * std::f64::consts::PI / ny as f64
+                std::f64::consts::FRAC_PI_2 - (j as f64 + 0.5) * std::f64::consts::PI / ny as f64
             })
             .collect()
     }

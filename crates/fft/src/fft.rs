@@ -35,13 +35,13 @@ pub fn dft_naive(x: &[Complex], sign: f64) -> Vec<Complex> {
 /// Smallest prime factor of `n` (n ≥ 2).
 fn smallest_factor(n: usize) -> usize {
     for r in [2usize, 3, 5, 7, 11, 13] {
-        if n % r == 0 {
+        if n.is_multiple_of(r) {
             return r;
         }
     }
     let mut r = 17;
     while r * r <= n {
-        if n % r == 0 {
+        if n.is_multiple_of(r) {
             return r;
         }
         r += 2;
@@ -132,16 +132,15 @@ mod tests {
     fn assert_close(a: &[Complex], b: &[Complex], tol: f64) {
         assert_eq!(a.len(), b.len());
         for (i, (x, y)) in a.iter().zip(b).enumerate() {
-            assert!(
-                (*x - *y).abs() < tol,
-                "mismatch at {i}: {x:?} vs {y:?}"
-            );
+            assert!((*x - *y).abs() < tol, "mismatch at {i}: {x:?} vs {y:?}");
         }
     }
 
     fn random_signal(n: usize, seed: u64) -> Vec<Complex> {
         // simple deterministic LCG so the test needs no RNG dependency here
-        let mut s = seed.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+        let mut s = seed
+            .wrapping_mul(2862933555777941757)
+            .wrapping_add(3037000493);
         let mut next = move || {
             s = s.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
             (s >> 11) as f64 / (1u64 << 53) as f64 - 0.5
@@ -151,7 +150,9 @@ mod tests {
 
     #[test]
     fn fft_matches_naive_dft_smooth_sizes() {
-        for n in [1usize, 2, 3, 4, 5, 6, 8, 9, 10, 12, 15, 16, 20, 24, 30, 45, 60, 64] {
+        for n in [
+            1usize, 2, 3, 4, 5, 6, 8, 9, 10, 12, 15, 16, 20, 24, 30, 45, 60, 64,
+        ] {
             let x = random_signal(n, n as u64);
             assert_close(&fft(&x), &dft_naive(&x, -1.0), 1e-9 * (n as f64 + 1.0));
         }

@@ -129,8 +129,7 @@ mod tests {
     fn latitudes(ny: usize) -> Vec<f64> {
         (0..ny)
             .map(|j| {
-                std::f64::consts::FRAC_PI_2
-                    - (j as f64 + 0.5) * std::f64::consts::PI / ny as f64
+                std::f64::consts::FRAC_PI_2 - (j as f64 + 0.5) * std::f64::consts::PI / ny as f64
             })
             .collect()
     }
@@ -210,10 +209,7 @@ mod tests {
             .collect();
         f.apply_row(0, &mut noisy);
         // Nyquist amplitude after: |x[0]-x[1]| shrinks strongly
-        let rough_after: f64 = noisy
-            .windows(2)
-            .map(|w| (w[1] - w[0]).abs())
-            .sum::<f64>();
+        let rough_after: f64 = noisy.windows(2).map(|w| (w[1] - w[0]).abs()).sum::<f64>();
         let rough_before: f64 = 32.0; // 0.5 jumps of 1.0 each, 32 windows
         assert!(rough_after < 0.7 * rough_before);
     }

@@ -1,56 +1,98 @@
-//! Property-based tests of the FFT and polar filter.
+//! Property-based tests of the FFT and polar filter, driven by a
+//! deterministic case generator.
 
 use agcm_fft::{dft_naive, fft, ifft, irfft, rfft, Complex, FourierFilter};
-use proptest::prelude::*;
 
-fn signal_strategy(max_n: usize) -> impl Strategy<Value = Vec<Complex>> {
-    proptest::collection::vec((-100.0f64..100.0, -100.0f64..100.0), 1..max_n)
-        .prop_map(|v| v.into_iter().map(|(re, im)| Complex::new(re, im)).collect())
+/// splitmix64 — deterministic case generator for the property loops.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1))
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+    /// uniform in `[lo, hi)`
+    fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        lo + (self.next_u64() % (hi - lo) as u64) as usize
+    }
+    fn f64_in(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * ((self.next_u64() >> 11) as f64 / (1u64 << 53) as f64)
+    }
+    fn signal(&mut self, max_n: usize) -> Vec<Complex> {
+        let n = self.usize_in(1, max_n);
+        (0..n)
+            .map(|_| Complex::new(self.f64_in(-100.0, 100.0), self.f64_in(-100.0, 100.0)))
+            .collect()
+    }
+    fn real_signal(&mut self, lo_n: usize, max_n: usize) -> Vec<f64> {
+        let n = self.usize_in(lo_n, max_n);
+        (0..n).map(|_| self.f64_in(-50.0, 50.0)).collect()
+    }
 }
+
+const CASES: u64 = 64;
 
 fn close(a: Complex, b: Complex, tol: f64) -> bool {
     (a - b).abs() <= tol
 }
 
-proptest! {
-    /// FFT equals the O(n²) DFT on arbitrary (including prime) lengths.
-    #[test]
-    fn fft_matches_dft(x in signal_strategy(48)) {
+#[test]
+fn fft_matches_dft() {
+    // FFT equals the O(n²) DFT on arbitrary (including prime) lengths.
+    for case in 0..CASES {
+        let mut rng = Rng::new(case);
+        let x = rng.signal(48);
         let fast = fft(&x);
         let slow = dft_naive(&x, -1.0);
         let tol = 1e-8 * (1.0 + x.len() as f64) * 100.0;
         for (a, b) in fast.iter().zip(&slow) {
-            prop_assert!(close(*a, *b, tol), "{:?} vs {:?}", a, b);
+            assert!(close(*a, *b, tol), "{a:?} vs {b:?}");
         }
     }
+}
 
-    /// ifft inverts fft.
-    #[test]
-    fn roundtrip(x in signal_strategy(64)) {
+#[test]
+fn roundtrip() {
+    // ifft inverts fft.
+    for case in 0..CASES {
+        let mut rng = Rng::new(100 + case);
+        let x = rng.signal(64);
         let back = ifft(&fft(&x));
         let tol = 1e-9 * (1.0 + x.len() as f64) * 100.0;
         for (a, b) in back.iter().zip(&x) {
-            prop_assert!(close(*a, *b, tol));
+            assert!(close(*a, *b, tol));
         }
     }
+}
 
-    /// Parseval: energy is preserved up to the 1/n convention.
-    #[test]
-    fn parseval(x in signal_strategy(64)) {
+#[test]
+fn parseval() {
+    // Parseval: energy is preserved up to the 1/n convention.
+    for case in 0..CASES {
+        let mut rng = Rng::new(200 + case);
+        let x = rng.signal(64);
         let n = x.len() as f64;
         let s = fft(&x);
         let te: f64 = x.iter().map(|c| c.norm_sqr()).sum();
         let fe: f64 = s.iter().map(|c| c.norm_sqr()).sum::<f64>() / n;
-        prop_assert!((te - fe).abs() <= 1e-8 * te.max(1.0));
+        assert!((te - fe).abs() <= 1e-8 * te.max(1.0));
     }
+}
 
-    /// FFT is linear.
-    #[test]
-    fn linearity(
-        x in signal_strategy(32),
-        a in -5.0f64..5.0,
-        b in -5.0f64..5.0,
-    ) {
+#[test]
+fn linearity() {
+    // FFT is linear.
+    for case in 0..CASES {
+        let mut rng = Rng::new(300 + case);
+        let x = rng.signal(32);
+        let a = rng.f64_in(-5.0, 5.0);
+        let b = rng.f64_in(-5.0, 5.0);
         let n = x.len();
         let y: Vec<Complex> = (0..n)
             .map(|i| Complex::new((i as f64).sin(), (i as f64 * 0.5).cos()))
@@ -65,42 +107,53 @@ proptest! {
         let fy = fft(&y);
         for i in 0..n {
             let want = fx[i].scale(a) + fy[i].scale(b);
-            prop_assert!(close(fz[i], want, 1e-7 * (1.0 + n as f64) * 100.0));
+            assert!(close(fz[i], want, 1e-7 * (1.0 + n as f64) * 100.0));
         }
     }
+}
 
-    /// real FFT round-trips arbitrary real signals of any parity.
-    #[test]
-    fn rfft_roundtrip(v in proptest::collection::vec(-50.0f64..50.0, 2..64)) {
+#[test]
+fn rfft_roundtrip() {
+    // real FFT round-trips arbitrary real signals of any parity.
+    for case in 0..CASES {
+        let mut rng = Rng::new(400 + case);
+        let v = rng.real_signal(2, 64);
         let spec = rfft(&v);
-        prop_assert_eq!(spec.len(), v.len() / 2 + 1);
+        assert_eq!(spec.len(), v.len() / 2 + 1);
         let back = irfft(&spec, v.len());
         for (a, b) in v.iter().zip(&back) {
-            prop_assert!((a - b).abs() <= 1e-8 * (1.0 + v.len() as f64));
+            assert!((a - b).abs() <= 1e-8 * (1.0 + v.len() as f64));
         }
     }
+}
 
-    /// the rfft spectrum of a real signal has a real DC coefficient equal
-    /// to the sum.
-    #[test]
-    fn rfft_dc(v in proptest::collection::vec(-50.0f64..50.0, 2..48)) {
+#[test]
+fn rfft_dc() {
+    // the rfft spectrum of a real signal has a real DC coefficient equal
+    // to the sum.
+    for case in 0..CASES {
+        let mut rng = Rng::new(500 + case);
+        let v = rng.real_signal(2, 48);
         let spec = rfft(&v);
         let sum: f64 = v.iter().sum();
-        prop_assert!((spec[0].re - sum).abs() <= 1e-9 * (1.0 + sum.abs()));
-        prop_assert!(spec[0].im.abs() <= 1e-9 * (1.0 + sum.abs()));
+        assert!((spec[0].re - sum).abs() <= 1e-9 * (1.0 + sum.abs()));
+        assert!(spec[0].im.abs() <= 1e-9 * (1.0 + sum.abs()));
     }
+}
 
-    /// the polar filter is linear and preserves the zonal mean on every
-    /// row, and is a contraction in deviation energy.
-    #[test]
-    fn filter_row_properties(
-        row in proptest::collection::vec(-30.0f64..30.0, 16..17),
-        j in 0usize..18,
-    ) {
+#[test]
+fn filter_row_properties() {
+    // the polar filter is linear and preserves the zonal mean on every
+    // row, and is a contraction in deviation energy.
+    for case in 0..CASES {
+        let mut rng = Rng::new(600 + case);
+        let row: Vec<f64> = (0..16).map(|_| rng.f64_in(-30.0, 30.0)).collect();
+        let j = rng.usize_in(0, 18);
         let ny = 18;
         let lats: Vec<f64> = (0..ny)
-            .map(|j| std::f64::consts::FRAC_PI_2
-                - (j as f64 + 0.5) * std::f64::consts::PI / ny as f64)
+            .map(|j| {
+                std::f64::consts::FRAC_PI_2 - (j as f64 + 0.5) * std::f64::consts::PI / ny as f64
+            })
             .collect();
         let f = FourierFilter::with_default_cutoff(16, &lats);
         let mut out = row.clone();
@@ -108,15 +161,15 @@ proptest! {
         // mean preserved
         let m0: f64 = row.iter().sum::<f64>() / 16.0;
         let m1: f64 = out.iter().sum::<f64>() / 16.0;
-        prop_assert!((m0 - m1).abs() <= 1e-9 * (1.0 + m0.abs()));
+        assert!((m0 - m1).abs() <= 1e-9 * (1.0 + m0.abs()));
         // deviation energy never grows
         let e = |r: &[f64], m: f64| r.iter().map(|v| (v - m) * (v - m)).sum::<f64>();
-        prop_assert!(e(&out, m1) <= e(&row, m0) + 1e-9);
+        assert!(e(&out, m1) <= e(&row, m0) + 1e-9);
         // linearity: filter(2x) = 2 filter(x)
         let mut twice: Vec<f64> = row.iter().map(|v| 2.0 * v).collect();
         f.apply_row(j, &mut twice);
         for (a, b) in twice.iter().zip(&out) {
-            prop_assert!((a - 2.0 * b).abs() <= 1e-8);
+            assert!((a - 2.0 * b).abs() <= 1e-8);
         }
     }
 }

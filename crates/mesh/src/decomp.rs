@@ -222,10 +222,7 @@ pub struct Decomposition {
 impl Decomposition {
     /// Create a decomposition.  Every rank must own at least one point along
     /// every axis (`px ≤ nx`, `py ≤ ny`, `pz ≤ nz`).
-    pub fn new(
-        (nx, ny, nz): (usize, usize, usize),
-        pgrid: ProcessGrid,
-    ) -> Result<Self, MeshError> {
+    pub fn new((nx, ny, nz): (usize, usize, usize), pgrid: ProcessGrid) -> Result<Self, MeshError> {
         if pgrid.px() > nx || pgrid.py() > ny || pgrid.pz() > nz {
             return Err(MeshError::Oversubscribed {
                 nx,

@@ -25,6 +25,18 @@ pub enum MeshError {
         /// Processes along z.
         pz: usize,
     },
+    /// A field access outside interior + halo (checked accessors only; the
+    /// unchecked hot-path accessors debug-assert instead).
+    OutOfBounds {
+        /// Axis name: `'x'`, `'y'` or `'z'`.
+        axis: char,
+        /// The offending index.
+        index: isize,
+        /// Valid range start (inclusive, may be negative into the halo).
+        lo: isize,
+        /// Valid range end (exclusive).
+        hi: isize,
+    },
     /// More processes than mesh points along some axis.
     Oversubscribed {
         /// Longitude points.
@@ -46,11 +58,22 @@ impl fmt::Display for MeshError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             MeshError::InvalidGrid { nx, ny, nz } => {
-                write!(f, "grid {nx}x{ny}x{nz} is too small (need nx,ny >= 4, nz >= 1)")
+                write!(
+                    f,
+                    "grid {nx}x{ny}x{nz} is too small (need nx,ny >= 4, nz >= 1)"
+                )
             }
             MeshError::InvalidSigma(msg) => write!(f, "invalid sigma levels: {msg}"),
             MeshError::InvalidProcessGrid { px, py, pz } => {
                 write!(f, "process grid {px}x{py}x{pz} has a zero dimension")
+            }
+            MeshError::OutOfBounds {
+                axis,
+                index,
+                lo,
+                hi,
+            } => {
+                write!(f, "{axis} index {index} outside [{lo}, {hi})")
             }
             MeshError::Oversubscribed {
                 nx,
@@ -75,7 +98,11 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        let e = MeshError::InvalidGrid { nx: 1, ny: 2, nz: 3 };
+        let e = MeshError::InvalidGrid {
+            nx: 1,
+            ny: 2,
+            nz: 3,
+        };
         assert!(e.to_string().contains("1x2x3"));
         let e = MeshError::Oversubscribed {
             nx: 8,
@@ -88,7 +115,11 @@ mod tests {
         assert!(e.to_string().contains("oversubscribes"));
         let e = MeshError::InvalidSigma("bad".into());
         assert!(e.to_string().contains("bad"));
-        let e = MeshError::InvalidProcessGrid { px: 0, py: 1, pz: 1 };
+        let e = MeshError::InvalidProcessGrid {
+            px: 0,
+            py: 1,
+            pz: 1,
+        };
         assert!(e.to_string().contains("zero"));
     }
 }

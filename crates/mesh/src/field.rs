@@ -14,6 +14,7 @@
 //! [`Field2`] is the 2-D (surface) analogue used for `p'_sa` and the other
 //! single-level variables.
 
+use crate::error::MeshError;
 use crate::stencil::{Axis, StencilFootprint};
 
 /// Halo widths of a field, per axis and side.
@@ -180,6 +181,43 @@ impl Field3 {
         (self.base as isize + i + j * self.sy as isize + k * self.sz as isize) as usize
     }
 
+    /// Bounds-check one local coordinate triple against interior + halo,
+    /// returning the linear index.  The hot-path accessors ([`Field3::get`]
+    /// and friends) skip this in release builds; use the `try_*` accessors
+    /// on paths where an out-of-range index must surface as a typed error
+    /// instead of a panic (or worse, a wrapped index into the wrong point).
+    pub fn checked_idx(&self, i: isize, j: isize, k: isize) -> Result<usize, MeshError> {
+        let check = |axis, index, m: usize, n: usize, p: usize| {
+            let (lo, hi) = (-(m as isize), (n + p) as isize);
+            if index < lo || index >= hi {
+                Err(MeshError::OutOfBounds {
+                    axis,
+                    index,
+                    lo,
+                    hi,
+                })
+            } else {
+                Ok(())
+            }
+        };
+        check('x', i, self.halo.xm, self.nx, self.halo.xp)?;
+        check('y', j, self.halo.ym, self.ny, self.halo.yp)?;
+        check('z', k, self.halo.zm, self.nz, self.halo.zp)?;
+        Ok((self.base as isize + i + j * self.sy as isize + k * self.sz as isize) as usize)
+    }
+
+    /// Bounds-checked read at local coordinates.
+    pub fn try_get(&self, i: isize, j: isize, k: isize) -> Result<f64, MeshError> {
+        Ok(self.data[self.checked_idx(i, j, k)?])
+    }
+
+    /// Bounds-checked write at local coordinates.
+    pub fn try_set(&mut self, i: isize, j: isize, k: isize, v: f64) -> Result<(), MeshError> {
+        let ix = self.checked_idx(i, j, k)?;
+        self.data[ix] = v;
+        Ok(())
+    }
+
     /// Read the value at local coordinates (halo reachable with negative /
     /// overflowing indices).
     #[inline]
@@ -241,7 +279,8 @@ impl Field3 {
         for k in -(h.zm as isize)..nz + h.zp as isize {
             for j in -(h.ym as isize)..ny + h.yp as isize {
                 for i in -(h.xm as isize)..nx + h.xp as isize {
-                    let interior = (0..nx).contains(&i) && (0..ny).contains(&j) && (0..nz).contains(&k);
+                    let interior =
+                        (0..nx).contains(&i) && (0..ny).contains(&j) && (0..nz).contains(&k);
                     if !interior {
                         self.set(i, j, k, f64::NAN);
                     }
@@ -313,7 +352,11 @@ impl Field3 {
     pub fn has_nan_interior(&self) -> bool {
         for k in 0..self.nz as isize {
             for j in 0..self.ny as isize {
-                if self.row(0, self.nx as isize, j, k).iter().any(|v| v.is_nan()) {
+                if self
+                    .row(0, self.nx as isize, j, k)
+                    .iter()
+                    .any(|v| v.is_nan())
+                {
                     return true;
                 }
             }
@@ -461,6 +504,38 @@ impl Field2 {
             "y index {j} out of range"
         );
         (self.base as isize + i + j * self.sy as isize) as usize
+    }
+
+    /// Bounds-check one local coordinate pair; see [`Field3::checked_idx`].
+    pub fn checked_idx(&self, i: isize, j: isize) -> Result<usize, MeshError> {
+        let check = |axis, index, m: usize, n: usize, p: usize| {
+            let (lo, hi) = (-(m as isize), (n + p) as isize);
+            if index < lo || index >= hi {
+                Err(MeshError::OutOfBounds {
+                    axis,
+                    index,
+                    lo,
+                    hi,
+                })
+            } else {
+                Ok(())
+            }
+        };
+        check('x', i, self.hx.0, self.nx, self.hx.1)?;
+        check('y', j, self.hy.0, self.ny, self.hy.1)?;
+        Ok((self.base as isize + i + j * self.sy as isize) as usize)
+    }
+
+    /// Bounds-checked read at local coordinates.
+    pub fn try_get(&self, i: isize, j: isize) -> Result<f64, MeshError> {
+        Ok(self.data[self.checked_idx(i, j)?])
+    }
+
+    /// Bounds-checked write at local coordinates.
+    pub fn try_set(&mut self, i: isize, j: isize, v: f64) -> Result<(), MeshError> {
+        let ix = self.checked_idx(i, j)?;
+        self.data[ix] = v;
+        Ok(())
     }
 
     /// Read at local coordinates.
@@ -774,5 +849,46 @@ mod tests {
         assert_eq!(c.max_abs(), 0.0);
         c.assign_interior(&f);
         assert_eq!(c.max_abs_diff(&f), 0.0);
+    }
+
+    #[test]
+    fn checked_accessors_bound_interior_plus_halo() {
+        let mut f = Field3::new(4, 3, 2, HaloWidths::uniform(1));
+        f.set(0, 0, 0, 5.0);
+        assert_eq!(f.try_get(0, 0, 0).unwrap(), 5.0);
+        assert!(f.try_get(-1, -1, -1).is_ok(), "halo is reachable");
+        assert!(f.try_set(4, 2, 1, 1.0).is_ok(), "upper halo is reachable");
+        let e = f.try_get(5, 0, 0).unwrap_err();
+        assert!(
+            matches!(
+                e,
+                MeshError::OutOfBounds {
+                    axis: 'x',
+                    index: 5,
+                    ..
+                }
+            ),
+            "{e}"
+        );
+        assert!(f.try_get(0, -2, 0).is_err());
+        assert!(f.try_set(0, 0, 3, 0.0).is_err());
+        // checked and unchecked agree on in-range points
+        assert_eq!(f.checked_idx(2, 1, 1).unwrap(), f.idx(2, 1, 1));
+
+        let mut g = Field2::new(4, 3, HaloWidths::uniform(2));
+        assert!(g.try_set(-2, 4, 9.0).is_ok());
+        assert_eq!(g.try_get(-2, 4).unwrap(), 9.0);
+        let e = g.try_get(0, 5).unwrap_err();
+        assert!(
+            matches!(
+                e,
+                MeshError::OutOfBounds {
+                    axis: 'y',
+                    index: 5,
+                    ..
+                }
+            ),
+            "{e}"
+        );
     }
 }

@@ -77,9 +77,7 @@ impl SigmaLevels {
     /// be strictly increasing.
     pub fn from_interfaces(interfaces: Vec<f64>) -> Result<Self, MeshError> {
         if interfaces.len() < 2 {
-            return Err(MeshError::InvalidSigma(
-                "need at least 2 interfaces".into(),
-            ));
+            return Err(MeshError::InvalidSigma("need at least 2 interfaces".into()));
         }
         if (interfaces[0]).abs() > 1e-14 {
             return Err(MeshError::InvalidSigma("first interface must be 0".into()));
@@ -98,9 +96,7 @@ impl SigmaLevels {
         let centers: Vec<f64> = (0..nz)
             .map(|k| 0.5 * (interfaces[k] + interfaces[k + 1]))
             .collect();
-        let thickness: Vec<f64> = (0..nz)
-            .map(|k| interfaces[k + 1] - interfaces[k])
-            .collect();
+        let thickness: Vec<f64> = (0..nz).map(|k| interfaces[k + 1] - interfaces[k]).collect();
         Ok(SigmaLevels {
             interfaces,
             centers,

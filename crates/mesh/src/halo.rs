@@ -105,15 +105,16 @@ impl ExchangePlan {
             // it.  d = -1 neighbour fills our low halo and wants our low
             // interior slab of width = halo on *its* high side (halo widths
             // are uniform across ranks).
-            let axis_ranges = |d: i32, n: usize, hlo: usize, hhi: usize| -> (Range<isize>, Range<isize>) {
-                let n = n as isize;
-                match d {
-                    -1 => (0..hhi as isize, -(hlo as isize)..0),
-                    0 => (0..n, 0..n),
-                    1 => ((n - hlo as isize)..n, n..n + hhi as isize),
-                    _ => unreachable!("offsets are in -1..=1"),
-                }
-            };
+            let axis_ranges =
+                |d: i32, n: usize, hlo: usize, hhi: usize| -> (Range<isize>, Range<isize>) {
+                    let n = n as isize;
+                    match d {
+                        -1 => (0..hhi as isize, -(hlo as isize)..0),
+                        0 => (0..n, 0..n),
+                        1 => ((n - hlo as isize)..n, n..n + hhi as isize),
+                        _ => unreachable!("offsets are in -1..=1"),
+                    }
+                };
             let (hx, hy, hz) = (
                 halo.along(Axis::X),
                 halo.along(Axis::Y),

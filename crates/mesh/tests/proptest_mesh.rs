@@ -1,69 +1,113 @@
-//! Property-based tests of the mesh substrate invariants.
+//! Property-based tests of the mesh substrate invariants, driven by a
+//! small deterministic case generator (no external dependencies).
 
 use agcm_mesh::{
     decomp::block_range, AxisOffsets, BoxRange, Decomposition, ExchangePlan, Field3, HaloWidths,
     ProcessGrid, StencilFootprint,
 };
-use proptest::prelude::*;
 
-proptest! {
-    /// block_range tiles [0, n) exactly: disjoint, covering, ordered.
-    #[test]
-    fn block_range_partitions(n in 1usize..200, p in 1usize..32) {
-        prop_assume!(p <= n);
+/// splitmix64 — deterministic case generator for the property loops.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1))
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+    /// uniform in `[lo, hi)`
+    fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        lo + (self.next_u64() % (hi - lo) as u64) as usize
+    }
+    fn i32_in(&mut self, lo: i32, hi: i32) -> i32 {
+        lo + (self.next_u64() % (hi - lo) as u64) as i32
+    }
+}
+
+const CASES: u64 = 64;
+
+#[test]
+fn block_range_partitions() {
+    // block_range tiles [0, n) exactly: disjoint, covering, ordered.
+    for case in 0..CASES {
+        let mut rng = Rng::new(case);
+        let n = rng.usize_in(1, 200);
+        let p = rng.usize_in(1, 32.min(n) + 1);
         let mut next = 0usize;
         for r in 0..p {
-            let rng = block_range(n, p, r);
-            prop_assert_eq!(rng.start, next, "gap or overlap at part {}", r);
-            prop_assert!(!rng.is_empty(), "empty part {}", r);
-            next = rng.end;
+            let range = block_range(n, p, r);
+            assert_eq!(
+                range.start, next,
+                "gap or overlap at part {r} (n={n}, p={p})"
+            );
+            assert!(!range.is_empty(), "empty part {r} (n={n}, p={p})");
+            next = range.end;
         }
-        prop_assert_eq!(next, n);
+        assert_eq!(next, n);
     }
+}
 
-    /// block sizes differ by at most one (balanced partition).
-    #[test]
-    fn block_range_balanced(n in 1usize..500, p in 1usize..64) {
-        prop_assume!(p <= n);
+#[test]
+fn block_range_balanced() {
+    // block sizes differ by at most one (balanced partition).
+    for case in 0..CASES {
+        let mut rng = Rng::new(1000 + case);
+        let n = rng.usize_in(1, 500);
+        let p = rng.usize_in(1, 64.min(n) + 1);
         let sizes: Vec<usize> = (0..p).map(|r| block_range(n, p, r).len()).collect();
         let mn = *sizes.iter().min().unwrap();
         let mx = *sizes.iter().max().unwrap();
-        prop_assert!(mx - mn <= 1, "sizes {:?}", sizes);
+        assert!(mx - mn <= 1, "sizes {sizes:?}");
     }
+}
 
-    /// every mesh point has exactly one owner, and owner() agrees with the
-    /// subdomain ranges.
-    #[test]
-    fn ownership_is_a_partition(
-        nx in 4usize..20, ny in 4usize..20, nz in 1usize..10,
-        px in 1usize..4, py in 1usize..4, pz in 1usize..4,
-    ) {
-        prop_assume!(px <= nx && py <= ny && pz <= nz);
+#[test]
+fn ownership_is_a_partition() {
+    // every mesh point has exactly one owner, and owner() agrees with the
+    // subdomain ranges.
+    for case in 0..CASES {
+        let mut rng = Rng::new(2000 + case);
+        let nx = rng.usize_in(4, 20);
+        let ny = rng.usize_in(4, 20);
+        let nz = rng.usize_in(1, 10);
+        let px = rng.usize_in(1, 4.min(nx) + 1);
+        let py = rng.usize_in(1, 4.min(ny) + 1);
+        let pz = rng.usize_in(1, 4.min(nz) + 1);
         let d = Decomposition::new((nx, ny, nz), ProcessGrid::new(px, py, pz).unwrap()).unwrap();
         let total: usize = d.subdomains().iter().map(|s| s.len()).sum();
-        prop_assert_eq!(total, nx * ny * nz);
+        assert_eq!(total, nx * ny * nz);
         // spot-check owner() on a grid sample
         for i in (0..nx).step_by(3) {
             for j in (0..ny).step_by(3) {
                 for k in (0..nz).step_by(2) {
                     let o = d.owner(i, j, k);
                     let s = d.subdomain(o);
-                    prop_assert!(s.x.contains(&i) && s.y.contains(&j) && s.z.contains(&k));
+                    assert!(s.x.contains(&i) && s.y.contains(&j) && s.z.contains(&k));
                 }
             }
         }
     }
+}
 
-    /// exchange plans pair up: every send I post has a matching recv box of
-    /// identical size at the destination rank.
-    #[test]
-    fn exchange_plans_pair(
-        ny in 6usize..24, nz in 4usize..16,
-        py in 2usize..4, pz in 2usize..4,
-        h in 1usize..3,
-    ) {
-        prop_assume!(py <= ny / 2 && pz <= nz / 2);
-        prop_assume!(ny / py >= h && nz / pz >= h);
+#[test]
+fn exchange_plans_pair() {
+    // exchange plans pair up: every send I post has a matching recv box of
+    // identical size at the destination rank.
+    for case in 0..CASES {
+        let mut rng = Rng::new(3000 + case);
+        let ny = rng.usize_in(6, 24);
+        let nz = rng.usize_in(4, 16);
+        let py = rng.usize_in(2, 4);
+        let pz = rng.usize_in(2, 4);
+        let h = rng.usize_in(1, 3);
+        if py > ny / 2 || pz > nz / 2 || ny / py < h || nz / pz < h {
+            continue;
+        }
         let d = Decomposition::new((8, ny, nz), ProcessGrid::yz(py, pz).unwrap()).unwrap();
         let plans: Vec<ExchangePlan> = (0..d.size())
             .map(|r| ExchangePlan::new(&d, r, HaloWidths::uniform(h)))
@@ -73,22 +117,30 @@ proptest! {
                 let (dx, dy, dz) = spec.link.offset;
                 let peer = &plans[spec.link.rank];
                 // the peer's spec pointing back at us with the negated offset
-                let back = peer.specs().iter().find(|s| {
-                    s.link.rank == rank && s.link.offset == (-dx, -dy, -dz)
-                });
-                prop_assert!(back.is_some(), "no reciprocal spec");
-                prop_assert_eq!(back.unwrap().recv.len(), spec.send.len());
+                let back = peer
+                    .specs()
+                    .iter()
+                    .find(|s| s.link.rank == rank && s.link.offset == (-dx, -dy, -dz));
+                assert!(back.is_some(), "no reciprocal spec");
+                assert_eq!(back.unwrap().recv.len(), spec.send.len());
             }
         }
     }
+}
 
-    /// total send volume equals total receive volume across all ranks.
-    #[test]
-    fn exchange_volume_balances(
-        ny in 6usize..24, nz in 4usize..16, py in 1usize..4, pz in 1usize..4, h in 1usize..3,
-    ) {
-        prop_assume!(py <= ny && pz <= nz);
-        prop_assume!(ny / py >= h && nz / pz >= h);
+#[test]
+fn exchange_volume_balances() {
+    // total send volume equals total receive volume across all ranks.
+    for case in 0..CASES {
+        let mut rng = Rng::new(4000 + case);
+        let ny = rng.usize_in(6, 24);
+        let nz = rng.usize_in(4, 16);
+        let py = rng.usize_in(1, 4);
+        let pz = rng.usize_in(1, 4);
+        let h = rng.usize_in(1, 3);
+        if py > ny || pz > nz || ny / py < h || nz / pz < h {
+            continue;
+        }
         let d = Decomposition::new((8, ny, nz), ProcessGrid::yz(py, pz).unwrap()).unwrap();
         let mut sent = 0usize;
         let mut received = 0usize;
@@ -97,65 +149,78 @@ proptest! {
             sent += plan.send_volume();
             received += plan.recv_volume();
         }
-        prop_assert_eq!(sent, received);
+        assert_eq!(sent, received);
     }
+}
 
-    /// footprint composition is monotone: repeated(k+1) contains repeated(k).
-    #[test]
-    fn footprint_dilation_monotone(
-        xs in proptest::collection::vec(-3i32..=3, 1..5),
-        ys in proptest::collection::vec(-2i32..=2, 1..4),
-        k in 1u32..4,
-    ) {
+#[test]
+fn footprint_dilation_monotone() {
+    // footprint composition is monotone: repeated(k+1) contains repeated(k).
+    for case in 0..CASES {
+        let mut rng = Rng::new(5000 + case);
+        let xs: Vec<i32> = (0..rng.usize_in(1, 5)).map(|_| rng.i32_in(-3, 4)).collect();
+        let ys: Vec<i32> = (0..rng.usize_in(1, 4)).map(|_| rng.i32_in(-2, 3)).collect();
+        let k = rng.usize_in(1, 4) as u32;
         let fp = StencilFootprint::new("t", xs, ys, vec![]);
         let a = fp.repeated(k);
         let b = fp.repeated(k + 1);
         for (dx, dy, dz) in a.iter() {
-            prop_assert!(b.contains(dx, dy, dz));
+            assert!(b.contains(dx, dy, dz));
         }
     }
+}
 
-    /// union is commutative and contains both operands.
-    #[test]
-    fn footprint_union_properties(
-        xs1 in proptest::collection::vec(-3i32..=3, 0..4),
-        xs2 in proptest::collection::vec(-3i32..=3, 0..4),
-    ) {
+#[test]
+fn footprint_union_properties() {
+    // union is commutative and contains both operands.
+    for case in 0..CASES {
+        let mut rng = Rng::new(6000 + case);
+        let xs1: Vec<i32> = (0..rng.usize_in(0, 4)).map(|_| rng.i32_in(-3, 4)).collect();
+        let xs2: Vec<i32> = (0..rng.usize_in(0, 4)).map(|_| rng.i32_in(-3, 4)).collect();
         let a = StencilFootprint::new("a", xs1, vec![], vec![]);
         let b = StencilFootprint::new("b", xs2, vec![], vec![]);
         let u1 = a.union(&b);
         let u2 = b.union(&a);
-        prop_assert_eq!(u1.x.offsets(), u2.x.offsets());
+        assert_eq!(u1.x.offsets(), u2.x.offsets());
         for (dx, dy, dz) in a.iter() {
-            prop_assert!(u1.contains(dx, dy, dz));
+            assert!(u1.contains(dx, dy, dz));
         }
         for (dx, dy, dz) in b.iter() {
-            prop_assert!(u1.contains(dx, dy, dz));
+            assert!(u1.contains(dx, dy, dz));
         }
     }
+}
 
-    /// offsets compose like Minkowski sums: extents add.
-    #[test]
-    fn axis_offsets_compose_extents(
-        a_neg in 0u32..4, a_pos in 0u32..4, b_neg in 0u32..4, b_pos in 0u32..4,
-    ) {
+#[test]
+fn axis_offsets_compose_extents() {
+    // offsets compose like Minkowski sums: extents add.
+    for case in 0..CASES {
+        let mut rng = Rng::new(7000 + case);
+        let a_neg = rng.usize_in(0, 4) as u32;
+        let a_pos = rng.usize_in(0, 4) as u32;
+        let b_neg = rng.usize_in(0, 4) as u32;
+        let b_pos = rng.usize_in(0, 4) as u32;
         let a = AxisOffsets::range(a_neg, a_pos);
         let b = AxisOffsets::range(b_neg, b_pos);
         let c = a.compose(&b);
-        prop_assert_eq!(c.neg_extent(), a_neg + b_neg);
-        prop_assert_eq!(c.pos_extent(), a_pos + b_pos);
+        assert_eq!(c.neg_extent(), a_neg + b_neg);
+        assert_eq!(c.pos_extent(), a_pos + b_pos);
     }
+}
 
-    /// pack_box / unpack_box round-trips arbitrary boxes.
-    #[test]
-    fn pack_unpack_roundtrip(
-        nx in 2usize..8, ny in 2usize..8, nz in 1usize..5,
-        x0 in 0usize..3, y0 in 0usize..3, z0 in 0usize..2,
-        seed in 0u64..1000,
-    ) {
-        prop_assume!(x0 < nx && y0 < ny && z0 < nz);
+#[test]
+fn pack_unpack_roundtrip() {
+    // pack_box / unpack_box round-trips arbitrary boxes.
+    for case in 0..CASES {
+        let mut rng = Rng::new(8000 + case);
+        let nx = rng.usize_in(2, 8);
+        let ny = rng.usize_in(2, 8);
+        let nz = rng.usize_in(1, 5);
+        let x0 = rng.usize_in(0, 3.min(nx));
+        let y0 = rng.usize_in(0, 3.min(ny));
+        let z0 = rng.usize_in(0, 2.min(nz));
         let mut a = Field3::new(nx, ny, nz, HaloWidths::uniform(1));
-        let mut s = seed;
+        let mut s = rng.next_u64();
         for k in 0..nz as isize {
             for j in 0..ny as isize {
                 for i in 0..nx as isize {
@@ -171,27 +236,41 @@ proptest! {
         };
         let mut buf = Vec::new();
         let n = a.pack_box(bx.x.clone(), bx.y.clone(), bx.z.clone(), &mut buf);
-        prop_assert_eq!(n, bx.len());
+        assert_eq!(n, bx.len());
         let mut b = Field3::like(&a);
         let consumed = b.unpack_box(bx.x.clone(), bx.y.clone(), bx.z.clone(), &buf);
-        prop_assert_eq!(consumed, n);
+        assert_eq!(consumed, n);
         for k in bx.z.clone() {
             for j in bx.y.clone() {
                 for i in bx.x.clone() {
-                    prop_assert_eq!(b.get(i, j, k), a.get(i, j, k));
+                    assert_eq!(b.get(i, j, k), a.get(i, j, k));
                 }
             }
         }
     }
+}
 
-    /// wrap_x_halo makes the field exactly periodic.
-    #[test]
-    fn wrap_is_periodic(nx in 4usize..12, h in 1usize..4, seed in 0u64..1000) {
-        prop_assume!(h <= nx);
-        let mut f = Field3::new(nx, 3, 2, HaloWidths {
-            xm: h, xp: h, ym: 0, yp: 0, zm: 0, zp: 0,
-        });
-        let mut s = seed;
+#[test]
+fn wrap_is_periodic() {
+    // wrap_x_halo makes the field exactly periodic.
+    for case in 0..CASES {
+        let mut rng = Rng::new(9000 + case);
+        let nx = rng.usize_in(4, 12);
+        let h = rng.usize_in(1, 4.min(nx + 1));
+        let mut f = Field3::new(
+            nx,
+            3,
+            2,
+            HaloWidths {
+                xm: h,
+                xp: h,
+                ym: 0,
+                yp: 0,
+                zm: 0,
+                zp: 0,
+            },
+        );
+        let mut s = rng.next_u64();
         for k in 0..2isize {
             for j in 0..3isize {
                 for i in 0..nx as isize {
@@ -204,8 +283,8 @@ proptest! {
         for k in 0..2isize {
             for j in 0..3isize {
                 for d in 1..=h as isize {
-                    prop_assert_eq!(f.get(-d, j, k), f.get(nx as isize - d, j, k));
-                    prop_assert_eq!(f.get(nx as isize + d - 1, j, k), f.get(d - 1, j, k));
+                    assert_eq!(f.get(-d, j, k), f.get(nx as isize - d, j, k));
+                    assert_eq!(f.get(nx as isize + d - 1, j, k), f.get(d - 1, j, k));
                 }
             }
         }

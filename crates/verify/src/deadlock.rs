@@ -1,0 +1,207 @@
+//! Analysis 2 — deadlock-freedom by virtual execution.
+//!
+//! The simulated MPI runtime's sends are eager (buffered, never block);
+//! receives block until a matching send has been *posted*; collectives
+//! synchronize their whole subcommunicator.  Under these semantics the
+//! reachable-state question collapses: execution is monotone (posting a
+//! send or completing a barrier never disables another rank's step), so a
+//! single worklist pass either drives every rank's program to completion —
+//! a *proof* of deadlock-freedom for this schedule, replacing "the 30 s
+//! timeout did not fire" — or reaches a stuck state whose wait-for graph
+//! exhibits the blocking cycle/chain.
+//!
+//! Cost is linear in events: p = 4096 rank schedules check in well under a
+//! second without spawning a thread.
+
+use crate::graph::{Action, ScheduleGraph};
+use std::collections::{HashMap, VecDeque};
+
+/// Outcome of the deadlock analysis.
+#[derive(Debug, Clone)]
+pub enum DeadlockReport {
+    /// Every rank ran its program to completion: the schedule cannot
+    /// deadlock under eager-send semantics.
+    Free {
+        /// Actions virtually executed (= total schedule events).
+        actions: usize,
+    },
+    /// Some ranks can never progress.
+    Stuck {
+        /// Ranks blocked forever.
+        blocked: Vec<usize>,
+        /// A wait-for cycle among them, when one exists (`a` waits for the
+        /// next element, the last waits for the first); a blocked chain
+        /// with no cycle means a peer terminated without sending.
+        cycle: Option<Vec<usize>>,
+        /// Human-readable description of the first blocked ranks.
+        detail: String,
+    },
+}
+
+impl DeadlockReport {
+    /// Whether the schedule was proven deadlock-free.
+    pub fn is_free(&self) -> bool {
+        matches!(self, DeadlockReport::Free { .. })
+    }
+}
+
+/// Virtually execute the schedule and report.
+pub fn check_deadlock(g: &ScheduleGraph) -> DeadlockReport {
+    let p = g.p;
+    let mut pc = vec![0usize; p];
+    // (dst, src, tag) -> posted-but-unconsumed send count
+    let mut avail: HashMap<(u32, u32, u32), u32> = HashMap::new();
+    // (dst, src, tag) -> the rank blocked on that receive
+    let mut recv_wait: HashMap<(u32, u32, u32), usize> = HashMap::new();
+    let mut arrivals: Vec<Vec<u32>> = vec![Vec::new(); g.groups.len()];
+    let mut done: Vec<bool> = vec![false; g.groups.len()];
+    let mut waiters: Vec<Vec<usize>> = vec![Vec::new(); g.groups.len()];
+    let mut arrived = vec![false; p]; // rank has entered its current barrier
+    let mut runnable: VecDeque<usize> = (0..p).collect();
+    let mut queued = vec![true; p];
+    let mut actions = 0usize;
+
+    while let Some(r) = runnable.pop_front() {
+        queued[r] = false;
+        while pc[r] < g.programs[r].len() {
+            match g.programs[r][pc[r]] {
+                Action::Send(i) => {
+                    let s = &g.sends[i as usize];
+                    let key = (s.dst, s.src, s.tag);
+                    *avail.entry(key).or_insert(0) += 1;
+                    if let Some(w) = recv_wait.remove(&key) {
+                        if !queued[w] {
+                            queued[w] = true;
+                            runnable.push_back(w);
+                        }
+                    }
+                    pc[r] += 1;
+                    actions += 1;
+                }
+                Action::Recv(i) => {
+                    let e = &g.recvs[i as usize];
+                    if e.dropped {
+                        pc[r] += 1;
+                        continue;
+                    }
+                    let key = (e.rank, e.src, e.tag);
+                    match avail.get_mut(&key) {
+                        Some(c) if *c > 0 => {
+                            *c -= 1;
+                            pc[r] += 1;
+                            actions += 1;
+                        }
+                        _ => {
+                            recv_wait.insert(key, r);
+                            break;
+                        }
+                    }
+                }
+                Action::Barrier(b) => {
+                    let b = b as usize;
+                    if done[b] {
+                        arrived[r] = false;
+                        pc[r] += 1;
+                        actions += 1;
+                        continue;
+                    }
+                    if !arrived[r] {
+                        arrived[r] = true;
+                        arrivals[b].push(r as u32);
+                        if arrivals[b].len() == g.groups[b].len() {
+                            done[b] = true;
+                            for &w in &waiters[b] {
+                                if !queued[w] {
+                                    queued[w] = true;
+                                    runnable.push_back(w);
+                                }
+                            }
+                            // fall through: the done[b] arm advances us
+                            continue;
+                        }
+                    }
+                    waiters[b].push(r);
+                    break;
+                }
+            }
+        }
+    }
+
+    let blocked: Vec<usize> = (0..p).filter(|&r| pc[r] < g.programs[r].len()).collect();
+    if blocked.is_empty() {
+        return DeadlockReport::Free { actions };
+    }
+
+    // wait-for edges among blocked ranks
+    let describe = |r: usize| -> String {
+        match g.programs[r][pc[r]] {
+            Action::Recv(i) => {
+                let e = &g.recvs[i as usize];
+                format!(
+                    "rank {} blocked on recv from {} tag {:#x} (op {})",
+                    r, e.src, e.tag, e.op
+                )
+            }
+            Action::Barrier(b) => format!(
+                "rank {} blocked in collective {} ({} of {} arrived)",
+                r,
+                b,
+                arrivals[b as usize].len(),
+                g.groups[b as usize].len()
+            ),
+            Action::Send(_) => unreachable!("sends never block"),
+        }
+    };
+    let waits_for = |r: usize| -> Vec<usize> {
+        match g.programs[r][pc[r]] {
+            Action::Recv(i) => vec![g.recvs[i as usize].src as usize],
+            Action::Barrier(b) => {
+                let b = b as usize;
+                g.groups[b]
+                    .iter()
+                    .map(|&m| m as usize)
+                    .filter(|&m| !arrivals[b].contains(&(m as u32)))
+                    .collect()
+            }
+            Action::Send(_) => Vec::new(),
+        }
+    };
+    // DFS for a cycle over the wait-for graph restricted to blocked ranks
+    let is_blocked = |r: usize| pc[r] < g.programs[r].len();
+    let mut cycle = None;
+    'outer: for &start in &blocked {
+        let mut stack = vec![start];
+        let mut path_pos: HashMap<usize, usize> = HashMap::new();
+        path_pos.insert(start, 0);
+        let mut iters = 0usize;
+        while let Some(&cur) = stack.last() {
+            iters += 1;
+            if iters > 4 * g.p + 8 {
+                break; // defensive bound; move to the next start
+            }
+            let next = waits_for(cur).into_iter().find(|&n| is_blocked(n));
+            match next {
+                Some(n) => {
+                    if let Some(&pos) = path_pos.get(&n) {
+                        cycle = Some(stack[pos..].to_vec());
+                        break 'outer;
+                    }
+                    path_pos.insert(n, stack.len());
+                    stack.push(n);
+                }
+                None => break, // waits only on terminated ranks: a dead chain
+            }
+        }
+    }
+    let detail = blocked
+        .iter()
+        .take(4)
+        .map(|&r| describe(r))
+        .collect::<Vec<_>>()
+        .join("; ");
+    DeadlockReport::Stuck {
+        blocked,
+        cycle,
+        detail,
+    }
+}

@@ -1,0 +1,119 @@
+//! Analysis 1 — send/receive matching.
+//!
+//! Every posted send must be consumed by exactly one receive on its
+//! destination rank with the same `(source, tag)` and the same payload
+//! size, and vice versa: no orphan sends (messages that would sit in the
+//! unexpected-message queue forever), no orphan receives (which would hit
+//! the runtime's deadlock timeout), no size mismatches (which would corrupt
+//! the unpacked halo).
+
+use crate::graph::ScheduleGraph;
+use std::collections::HashMap;
+
+/// Cap on stored error strings (the counts are always exact).
+const MAX_ERRORS: usize = 24;
+
+/// Outcome of the matching analysis.
+#[derive(Debug, Clone, Default)]
+pub struct MatchReport {
+    /// Sends examined.
+    pub sends: usize,
+    /// Receives examined (dropped receives excluded).
+    pub recvs: usize,
+    /// Fully matched send/recv pairs.
+    pub matched: usize,
+    /// Sends no receive consumes.
+    pub orphan_sends: usize,
+    /// Receives no send feeds.
+    pub orphan_recvs: usize,
+    /// Matched pairs whose payload sizes disagree.
+    pub size_mismatches: usize,
+    /// Human-readable samples of the failures (capped).
+    pub errors: Vec<String>,
+}
+
+impl MatchReport {
+    /// Whether the schedule is fully matched.
+    pub fn is_ok(&self) -> bool {
+        self.orphan_sends == 0 && self.orphan_recvs == 0 && self.size_mismatches == 0
+    }
+}
+
+/// Channel address: `(dst, src, tag)`.
+type ChanKey = (u32, u32, u32);
+/// Payload sizes queued on one channel: `(send elems, recv elems)`, FIFO.
+type ChanQueues = (Vec<u64>, Vec<u64>);
+
+/// Run the matching analysis on a schedule graph.
+pub fn check_matching(g: &ScheduleGraph) -> MatchReport {
+    // FIFO queues per (dst, src, tag) channel, in program order — the same
+    // order the runtime's per-channel queues see.
+    let mut chans: HashMap<ChanKey, ChanQueues> = HashMap::new();
+    let mut rep = MatchReport::default();
+    for s in &g.sends {
+        rep.sends += 1;
+        chans
+            .entry((s.dst, s.src, s.tag))
+            .or_default()
+            .0
+            .push(s.elems);
+    }
+    for r in &g.recvs {
+        if r.dropped {
+            continue;
+        }
+        rep.recvs += 1;
+        chans
+            .entry((r.rank, r.src, r.tag))
+            .or_default()
+            .1
+            .push(r.elems);
+    }
+    fn err(rep: &mut MatchReport, msg: String) {
+        if rep.errors.len() < MAX_ERRORS {
+            rep.errors.push(msg);
+        }
+    }
+    let mut keys: Vec<_> = chans.keys().copied().collect();
+    keys.sort_unstable();
+    for key in keys {
+        let (dst, src, tag) = key;
+        let (snd, rcv) = &chans[&key];
+        let paired = snd.len().min(rcv.len());
+        for i in 0..paired {
+            if snd[i] == rcv[i] {
+                rep.matched += 1;
+            } else {
+                rep.size_mismatches += 1;
+                err(
+                    &mut rep,
+                    format!(
+                        "size mismatch {} -> {} tag {:#x}: send {} elems, recv {} elems",
+                        src, dst, tag, snd[i], rcv[i]
+                    ),
+                );
+            }
+        }
+        for &elems in &snd[paired..] {
+            rep.orphan_sends += 1;
+            err(
+                &mut rep,
+                format!(
+                    "orphan send {} -> {} tag {:#x} ({} elems): no matching recv",
+                    src, dst, tag, elems
+                ),
+            );
+        }
+        for &elems in &rcv[paired..] {
+            rep.orphan_recvs += 1;
+            err(
+                &mut rep,
+                format!(
+                    "orphan recv on {} from {} tag {:#x} ({} elems): no matching send",
+                    dst, src, tag, elems
+                ),
+            );
+        }
+    }
+    rep
+}

@@ -1,0 +1,88 @@
+//! Analysis 4 — runtime cross-check.
+//!
+//! At small rank counts the analyzer's statically derived per-rank counts
+//! must equal the traffic [`agcm_comm`]'s statistics measure from a *real*
+//! thread-backed run of the same configuration.  This pins the static
+//! model to the executing system: if an integrator ever gains or loses a
+//! message, the cross-check fails even though the purely static analyses
+//! (which share the schedule metadata) would remain self-consistent.
+
+use crate::counts::{rank_counts, RankCounts};
+use crate::graph::ScheduleGraph;
+use agcm_comm::{p2p_only_delta, Communicator, Universe};
+use agcm_core::analysis::{AlgKind, CaMode};
+use agcm_core::par::{Alg1Model, CaModel};
+use agcm_core::{init, ModelConfig};
+use agcm_mesh::ProcessGrid;
+
+/// Per-rank traffic measured from one executed steady-state step.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MeasuredTraffic {
+    /// Halo messages sent (collective-internal p2p subtracted).
+    pub msgs: u64,
+    /// Halo `f64` elements sent.
+    pub elems: u64,
+    /// Collective calls.
+    pub collectives: u64,
+}
+
+/// Run `alg` on `pgrid` for real (threads), measure the second step —
+/// steady state: warm `C` cache, pending smoothing — and return per-rank
+/// halo traffic with collective-internal messages subtracted.
+pub fn measure_step(cfg: &ModelConfig, alg: AlgKind, pgrid: ProcessGrid) -> Vec<MeasuredTraffic> {
+    let cfg = cfg.clone();
+    Universe::run(pgrid.size(), move |comm| {
+        let mut step: Box<dyn FnMut(&Communicator)> = match alg {
+            AlgKind::CommAvoiding => {
+                let mut m = CaModel::new(&cfg, pgrid, comm).expect("valid CA model");
+                let ic = init::perturbed_rest(m.geom(), 100.0, 1.0, 3);
+                m.set_state(&ic);
+                Box::new(move |c| m.step(c).expect("step"))
+            }
+            _ => {
+                let mut m = Alg1Model::new(&cfg, pgrid, comm).expect("valid Alg1 model");
+                let ic = init::perturbed_rest(m.geom(), 100.0, 1.0, 3);
+                m.set_state(&ic);
+                Box::new(move |c| m.step(c).expect("step"))
+            }
+        };
+        step(comm); // warm-up: fills caches, leaves a smoothing pending
+        let s0 = comm.stats().snapshot();
+        let e0 = comm.stats().collective_events().len();
+        step(comm);
+        let delta = comm.stats().snapshot().delta(&s0);
+        let events = comm.stats().collective_events()[e0..].to_vec();
+        let pure = p2p_only_delta(&delta, &events);
+        MeasuredTraffic {
+            msgs: pure.p2p_sends,
+            elems: pure.p2p_send_elems,
+            collectives: events.len() as u64,
+        }
+    })
+}
+
+/// Compare the schedule graph against an executed run, rank by rank.
+/// Returns the mismatches (empty = exact agreement).
+pub fn cross_check(
+    cfg: &ModelConfig,
+    alg: AlgKind,
+    pgrid: ProcessGrid,
+) -> Result<Vec<RankCounts>, String> {
+    let g = ScheduleGraph::extract(cfg, alg, CaMode::Grouped, pgrid)?;
+    let stat = rank_counts(&g);
+    let meas = measure_step(cfg, alg, pgrid);
+    let mut errors = Vec::new();
+    for (rank, (s, m)) in stat.iter().zip(&meas).enumerate() {
+        if s.send_msgs != m.msgs || s.send_elems != m.elems || s.collectives != m.collectives {
+            errors.push(format!(
+                "rank {rank}: static ({} msgs, {} elems, {} colls) != measured ({}, {}, {})",
+                s.send_msgs, s.send_elems, s.collectives, m.msgs, m.elems, m.collectives
+            ));
+        }
+    }
+    if errors.is_empty() {
+        Ok(stat)
+    } else {
+        Err(errors.join("\n"))
+    }
+}

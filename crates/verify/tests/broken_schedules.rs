@@ -1,0 +1,97 @@
+//! Negative tests: each analysis must *reject* a deliberately broken
+//! schedule.  A verifier that cannot fail is not evidence.
+
+use agcm_core::analysis::{AlgKind, CaMode};
+use agcm_core::ModelConfig;
+use agcm_mesh::ProcessGrid;
+use agcm_verify::{certify_counts, check_deadlock, check_matching, DeadlockReport, ScheduleGraph};
+
+fn yz22() -> (ModelConfig, ProcessGrid) {
+    (ModelConfig::test_medium(), ProcessGrid::yz(2, 2).unwrap())
+}
+
+fn extract(alg: AlgKind) -> (ModelConfig, ProcessGrid, ScheduleGraph) {
+    let (cfg, pg) = yz22();
+    let g = ScheduleGraph::extract(&cfg, alg, CaMode::Grouped, pg).unwrap();
+    (cfg, pg, g)
+}
+
+#[test]
+fn intact_schedules_pass_every_analysis() {
+    for alg in [AlgKind::OriginalYZ, AlgKind::CommAvoiding] {
+        let (cfg, pg, g) = extract(alg);
+        assert!(check_matching(&g).is_ok(), "{alg:?}");
+        assert!(check_deadlock(&g).is_free(), "{alg:?}");
+        let c = certify_counts(&cfg, alg, CaMode::Grouped, pg, &g);
+        assert!(c.is_ok(), "{alg:?}: {:?}", c.errors);
+    }
+}
+
+#[test]
+fn mismatched_tag_is_rejected_by_matching_and_deadlock() {
+    let (_, _, mut g) = extract(AlgKind::CommAvoiding);
+    assert!(g.retag_send(0, 0, 0x4));
+    let m = check_matching(&g);
+    assert!(!m.is_ok());
+    assert!(m.orphan_sends >= 1, "retag must strand the send");
+    assert!(m.orphan_recvs >= 1, "…and its intended receive");
+    // the receiver now waits forever for the original tag
+    let d = check_deadlock(&g);
+    assert!(!d.is_free(), "retagged schedule must get stuck");
+    if let DeadlockReport::Stuck { blocked, .. } = d {
+        assert!(!blocked.is_empty());
+    }
+}
+
+#[test]
+fn dropped_recv_is_rejected_by_matching_and_counts() {
+    let (cfg, pg, mut g) = extract(AlgKind::OriginalYZ);
+    assert!(g.drop_recv(1, 2));
+    let m = check_matching(&g);
+    assert!(!m.is_ok());
+    assert_eq!(m.orphan_sends, 1, "exactly the unreceived message");
+    // count certification sees the send/recv asymmetry on rank 1
+    let c = certify_counts(&cfg, AlgKind::OriginalYZ, CaMode::Grouped, pg, &g);
+    assert!(!c.is_ok());
+    assert!(c.errors.iter().any(|e| e.contains("asymmetric")
+        || e.contains("!= predictor")
+        || e.contains("recv count")));
+    // an orphan *buffered* send does not block anyone: still deadlock-free,
+    // which is exactly why matching is a separate analysis
+    assert!(check_deadlock(&g).is_free());
+}
+
+#[test]
+fn recv_before_send_reordering_deadlocks_with_cycle() {
+    let (_, _, mut g) = extract(AlgKind::CommAvoiding);
+    // first op of the steady-state CA step is the deep halo exchange
+    g.recvs_before_sends(0);
+    // matching is order-insensitive: the events still pair up
+    assert!(check_matching(&g).is_ok());
+    // …but the virtual execution exhibits head-of-line blocking
+    match check_deadlock(&g) {
+        DeadlockReport::Free { .. } => panic!("recv-first schedule must deadlock"),
+        DeadlockReport::Stuck { blocked, cycle, .. } => {
+            assert!(!blocked.is_empty());
+            let cycle = cycle.expect("all-blocked recv ring must contain a wait-for cycle");
+            assert!(cycle.len() >= 2, "cycle {cycle:?}");
+        }
+    }
+}
+
+#[test]
+fn collective_order_mismatch_deadlocks() {
+    let (_, _, mut g) = extract(AlgKind::OriginalYZ);
+    // rank 0 enters its 2nd allgather before its 1st; its z-partner does
+    // the opposite — neither barrier can ever complete
+    assert!(g.swap_barriers(0));
+    let d = check_deadlock(&g);
+    assert!(!d.is_free(), "swapped collectives must get stuck: {d:?}");
+}
+
+#[test]
+fn mutations_report_out_of_range_targets() {
+    let (_, _, mut g) = extract(AlgKind::OriginalYZ);
+    assert!(!g.retag_send(0, 10_000, 0x4));
+    assert!(!g.drop_recv(0, 10_000));
+}

@@ -1,0 +1,56 @@
+//! Property test (offline substitute for `proptest`): for random
+//! `(mesh, process grid, M)` with p ≤ 16, the statically extracted schedule
+//! graph reports exactly the per-rank traffic the thread-backed runtime
+//! measures, for both algorithms.
+
+use agcm_core::analysis::AlgKind;
+use agcm_core::ModelConfig;
+use agcm_mesh::ProcessGrid;
+use agcm_verify::cross_check;
+
+/// splitmix64 — deterministic, dependency-free.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1))
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+    fn range(&mut self, lo: usize, hi: usize) -> usize {
+        lo + (self.next_u64() as usize) % (hi - lo + 1)
+    }
+}
+
+#[test]
+fn random_decompositions_cross_check() {
+    let mut rng = Rng::new(0xAC6_2018);
+    let mut cases = 0;
+    while cases < 6 {
+        let py = rng.range(1, 4);
+        let pz = rng.range(1, 4);
+        if py * pz > 16 || py * pz == 1 {
+            continue;
+        }
+        let mut cfg = ModelConfig::test_medium();
+        // blocks deep enough for every depth the schedules use
+        cfg.ny = py * rng.range(4, 6);
+        cfg.nz = pz * rng.range(3, 5);
+        cfg.m_iters = rng.range(1, 3);
+        let pg = ProcessGrid::yz(py, pz).unwrap();
+        for alg in [AlgKind::OriginalYZ, AlgKind::CommAvoiding] {
+            cross_check(&cfg, alg, pg).unwrap_or_else(|e| {
+                panic!(
+                    "case {cases} ({}x{}x{} M={} on {py}x{pz}, {alg:?}): {e}",
+                    cfg.nx, cfg.ny, cfg.nz, cfg.m_iters
+                )
+            });
+        }
+        cases += 1;
+    }
+}

@@ -1,0 +1,34 @@
+//! Analysis 4 at small rank counts: the static schedule graph must predict
+//! the executing runtime's measured traffic message-for-message.
+
+use agcm_core::analysis::AlgKind;
+use agcm_core::ModelConfig;
+use agcm_mesh::ProcessGrid;
+use agcm_verify::cross_check;
+
+#[test]
+fn static_counts_match_measured_traffic_yz() {
+    let cfg = ModelConfig::test_medium();
+    let pg = ProcessGrid::yz(2, 2).unwrap();
+    for alg in [AlgKind::OriginalYZ, AlgKind::CommAvoiding] {
+        cross_check(&cfg, alg, pg).unwrap_or_else(|e| panic!("{alg:?}: {e}"));
+    }
+}
+
+#[test]
+fn static_counts_match_measured_traffic_xy() {
+    let cfg = ModelConfig::test_medium();
+    let pg = ProcessGrid::xy(2, 2).unwrap();
+    cross_check(&cfg, AlgKind::OriginalXY, pg).unwrap_or_else(|e| panic!("OriginalXY: {e}"));
+}
+
+#[test]
+fn static_counts_match_measured_traffic_tall_z() {
+    // pz = 4 exercises interior z-ranks (no top/surface boundary on either
+    // side) and z-diagonal links
+    let cfg = ModelConfig::test_medium();
+    let pg = ProcessGrid::yz(2, 4).unwrap();
+    for alg in [AlgKind::OriginalYZ, AlgKind::CommAvoiding] {
+        cross_check(&cfg, alg, pg).unwrap_or_else(|e| panic!("{alg:?}: {e}"));
+    }
+}
