@@ -1,0 +1,100 @@
+//! Overhead of the *disabled* tracer on a dynamical-core step.
+//!
+//! The instrumentation contract (`agcm-obs`): with tracing compiled in but
+//! disabled, every span site costs one relaxed atomic load and a branch
+//! (plus a thread-local `Cell` store for phase-tagged sites).  This bench
+//! measures that per-site cost directly, counts how many sites one
+//! steady-state step of the communication-avoiding model actually hits
+//! (by tracing one step), and asserts the product is **< 2%** of the
+//! measured step wall time — the acceptance bound for always-on
+//! instrumentation in the hot loop.
+
+use agcm_bench::timing::{bench, group};
+use agcm_comm::Universe;
+use agcm_core::init;
+use agcm_core::par::CaModel;
+use agcm_core::ModelConfig;
+use agcm_mesh::ProcessGrid;
+use agcm_obs as obs;
+use std::time::Instant;
+
+fn bench_config() -> ModelConfig {
+    let mut cfg = ModelConfig::test_medium();
+    cfg.ny = 48; // 4 y-blocks hold the full CA halo at M = 3
+    cfg
+}
+
+/// Nanoseconds per call of a disabled span site.
+fn disabled_site_cost_ns() -> f64 {
+    const N: u64 = 2_000_000;
+    // plain span: one relaxed load + branch
+    let t0 = Instant::now();
+    for _ in 0..N {
+        let s = obs::span(obs::SpanKind::Op, "bench");
+        std::hint::black_box(&s);
+    }
+    let plain = t0.elapsed().as_nanos() as f64 / N as f64;
+    // phase-tagged span: adds two thread-local Cell stores
+    let t0 = Instant::now();
+    for _ in 0..N {
+        let s = obs::span_phase(obs::SpanKind::Op, obs::Phase::A, "bench");
+        std::hint::black_box(&s);
+    }
+    let phased = t0.elapsed().as_nanos() as f64 / N as f64;
+    println!("disabled span site: plain {plain:.2} ns, phase-tagged {phased:.2} ns");
+    plain.max(phased)
+}
+
+fn main() {
+    let _guard = obs::exclusive();
+    obs::disable();
+    group("obs_overhead");
+
+    let per_site_ns = disabled_site_cost_ns();
+
+    // count the span sites one steady-state step hits, by tracing one
+    let cfg = bench_config();
+    obs::reset();
+    obs::enable();
+    let cfg1 = cfg.clone();
+    Universe::run(4, move |comm| {
+        let mut m = CaModel::new(&cfg1, ProcessGrid::yz(4, 1).unwrap(), comm).unwrap();
+        let ic = init::perturbed_rest(m.geom(), 150.0, 1.0, 5);
+        m.set_state(&ic);
+        m.run(comm, 2).unwrap();
+    });
+    obs::disable();
+    let events = obs::drain();
+    let sites_per_step = events.iter().filter(|e| e.step == 1).count();
+    println!("span sites hit per steady-state step (all 4 ranks): {sites_per_step}");
+
+    // wall time of the same step with tracing disabled
+    let steps = 5usize;
+    let cfg2 = cfg.clone();
+    let median = bench("alg2_ca_5steps_tracing_disabled", 5, move || {
+        let cfg = cfg2.clone();
+        Universe::run(4, move |comm| {
+            let mut m = CaModel::new(&cfg, ProcessGrid::yz(4, 1).unwrap(), comm).unwrap();
+            let ic = init::perturbed_rest(m.geom(), 150.0, 1.0, 5);
+            m.set_state(&ic);
+            m.run(comm, steps).unwrap();
+            m.state.max_abs()
+        })
+    });
+    let step_ns = median.as_nanos() as f64 / steps as f64;
+
+    let overhead = sites_per_step as f64 * per_site_ns / step_ns;
+    println!(
+        "disabled-tracing overhead: {sites_per_step} sites x {per_site_ns:.2} ns \
+         = {:.1} us per {:.1} us step = {:.3}%",
+        sites_per_step as f64 * per_site_ns / 1e3,
+        step_ns / 1e3,
+        100.0 * overhead
+    );
+    assert!(
+        overhead < 0.02,
+        "disabled tracing costs {:.3}% of a step, bound is 2%",
+        100.0 * overhead
+    );
+    println!("PASS: < 2% of dycore step time");
+}

@@ -20,6 +20,7 @@
 use crate::error::{CommError, CommResult};
 use crate::runtime::Communicator;
 use crate::stats::CollectiveKind;
+use agcm_obs as obs;
 
 /// Reduction operator for `reduce`/`allreduce`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -67,6 +68,7 @@ impl Communicator {
     /// Synchronize all ranks (dissemination barrier, ⌈log₂ p⌉ rounds).
     pub fn barrier(&self) -> CommResult<()> {
         self.bump_coll_seq();
+        let _span = obs::span(obs::SpanKind::Collective, "barrier");
         let p = self.size();
         self.stats()
             .record_collective(CollectiveKind::Barrier, p, 0);
@@ -92,6 +94,8 @@ impl Communicator {
     /// In-place allreduce.
     pub fn allreduce(&self, op: ReduceOp, data: &mut [f64], algo: AllreduceAlgo) -> CommResult<()> {
         self.bump_coll_seq();
+        let mut span = obs::span(obs::SpanKind::Collective, "allreduce");
+        span.add_bytes(8 * data.len() as u64);
         let p = self.size();
         self.stats()
             .record_collective(CollectiveKind::Allreduce, p, data.len());
@@ -197,6 +201,8 @@ impl Communicator {
     /// (other ranks' buffers end up holding partial sums).
     pub fn reduce(&self, root: usize, op: ReduceOp, data: &mut [f64]) -> CommResult<()> {
         self.bump_coll_seq();
+        let mut span = obs::span(obs::SpanKind::Collective, "reduce");
+        span.add_bytes(8 * data.len() as u64);
         let p = self.size();
         self.stats()
             .record_collective(CollectiveKind::Reduce, p, data.len());
@@ -228,6 +234,8 @@ impl Communicator {
     /// Broadcast `data` from `root` (binomial tree).
     pub fn bcast(&self, root: usize, data: &mut [f64]) -> CommResult<()> {
         self.bump_coll_seq();
+        let mut span = obs::span(obs::SpanKind::Collective, "bcast");
+        span.add_bytes(8 * data.len() as u64);
         let p = self.size();
         self.stats()
             .record_collective(CollectiveKind::Bcast, p, data.len());
@@ -275,6 +283,8 @@ impl Communicator {
     /// rank order (`p * data.len()` values).  Ring algorithm, `p-1` rounds.
     pub fn allgather(&self, data: &[f64]) -> CommResult<Vec<f64>> {
         self.bump_coll_seq();
+        let mut span = obs::span(obs::SpanKind::Collective, "allgather");
+        span.add_bytes(8 * data.len() as u64);
         let p = self.size();
         self.stats()
             .record_collective(CollectiveKind::Allgather, p, data.len());
@@ -308,6 +318,8 @@ impl Communicator {
     /// vectors)` at the root, `None` elsewhere.
     pub fn gatherv(&self, root: usize, data: &[f64]) -> CommResult<Option<Vec<Vec<f64>>>> {
         self.bump_coll_seq();
+        let mut span = obs::span(obs::SpanKind::Collective, "gatherv");
+        span.add_bytes(8 * data.len() as u64);
         let p = self.size();
         self.stats()
             .record_collective(CollectiveKind::Gather, p, data.len());
@@ -366,6 +378,8 @@ impl Communicator {
             .filter(|(d, _)| *d != r)
             .map(|(_, v)| v.len())
             .sum();
+        let mut span = obs::span(obs::SpanKind::Collective, "alltoallv");
+        span.add_bytes(8 * total as u64);
         self.stats()
             .record_collective(CollectiveKind::Alltoall, p, total);
         let mut out: Vec<Vec<f64>> = vec![Vec::new(); p];

@@ -291,12 +291,14 @@ mod tests {
             kind: CollectiveKind::Allreduce,
             comm_size: 8,
             elems: 100,
+            phase: agcm_obs::Phase::Other,
         };
         assert!((m.collective_event(&e) - m.allreduce_ring(8, 100)).abs() < 1e-18);
         let b = CollectiveEvent {
             kind: CollectiveKind::Barrier,
             comm_size: 8,
             elems: 0,
+            phase: agcm_obs::Phase::Other,
         };
         assert!((m.collective_event(&b) - (m.sync + 3.0 * m.alpha)).abs() < 1e-18);
         assert!(m.collective_total(&[e, b]) > 0.0);
@@ -318,6 +320,7 @@ mod tests {
             kind: CollectiveKind::Allreduce,
             comm_size: 4,
             elems: 64,
+            phase: agcm_obs::Phase::Other,
         }];
         let p = p2p_only_delta(&d, &ev);
         assert_eq!(p.p2p_sends, 2);

@@ -23,6 +23,7 @@
 
 use crate::error::{CommError, CommResult};
 use crate::stats::CommStats;
+use agcm_obs as obs;
 use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -48,6 +49,14 @@ pub fn default_timeout() -> Duration {
 
 /// Tags with this bit set are reserved for collectives.
 pub(crate) const COLLECTIVE_TAG_BIT: u32 = 0x8000_0000;
+
+/// Message-latency histogram: time a rank spends blocked in `recv` waiting
+/// for the matching message (only sampled while tracing is enabled, so the
+/// hot path pays one relaxed load).
+fn recv_wait_hist() -> &'static Arc<obs::Histogram> {
+    static H: OnceLock<Arc<obs::Histogram>> = OnceLock::new();
+    H.get_or_init(|| obs::Registry::global().histogram("comm.recv_wait_ns"))
+}
 
 /// A message in flight.
 #[derive(Debug)]
@@ -95,6 +104,8 @@ impl Universe {
                 let shared = Arc::clone(&shared);
                 let f = &f;
                 handles.push(scope.spawn(move || {
+                    // tag trace events from this thread with its rank
+                    obs::set_rank(rank);
                     let mut comm = Communicator::world(shared, rank, p, rx);
                     f(&mut comm)
                 }));
@@ -269,7 +280,8 @@ impl Communicator {
             }
         }
         // 2. drain the channel until the match arrives
-        let deadline = Instant::now() + self.timeout.get();
+        let entered = Instant::now();
+        let deadline = entered + self.timeout.get();
         loop {
             let remaining = deadline.saturating_duration_since(Instant::now());
             if remaining.is_zero() {
@@ -283,6 +295,9 @@ impl Communicator {
             match self.mailbox.rx.recv_timeout(remaining) {
                 Ok(env) => {
                     if env.ctx == self.ctx && env.src_global == want_src && env.tag == tag {
+                        if obs::enabled() {
+                            recv_wait_hist().record(entered.elapsed().as_nanos() as u64);
+                        }
                         self.stats.record_recv(env.data.len());
                         return Ok(env.data);
                     }

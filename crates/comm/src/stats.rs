@@ -12,7 +12,8 @@
 //! z-direction `allreduce` of the summation operator `C`, say) still lands
 //! in the owning rank's totals.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use agcm_obs::Phase;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 
 /// Which collective operation an event describes.
@@ -43,6 +44,10 @@ pub struct CollectiveEvent {
     pub comm_size: usize,
     /// Payload `f64` element count (per-rank contribution).
     pub elems: usize,
+    /// Operator phase (`A`/`C`/`F`/`L`/`S1`/`S2`) active on the calling
+    /// thread when the collective ran; [`Phase::Other`] outside any
+    /// operator span.
+    pub phase: Phase,
 }
 
 #[derive(Debug, Default)]
@@ -53,6 +58,10 @@ struct Inner {
     p2p_recv_elems: AtomicU64,
     collective_calls: AtomicU64,
     collective_elems: AtomicU64,
+    // The per-event log is opt-in: the unconditional push-under-mutex it
+    // used to do both grew without bound in long runs and serialized every
+    // rank's collectives on one lock.  Counters above stay always-on.
+    event_log: AtomicBool,
     events: Mutex<Vec<CollectiveEvent>>,
 }
 
@@ -93,17 +102,34 @@ impl CommStats {
             .fetch_add(elems as u64, Ordering::Relaxed);
     }
 
-    /// Record a collective call.
+    /// Turn the per-event collective log on or off (off by default; the
+    /// scalar counters are unaffected).  Shared by all clones / split
+    /// communicators of this rank.
+    pub fn set_event_logging(&self, on: bool) {
+        self.inner.event_log.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether the per-event collective log is recording.
+    pub fn event_logging(&self) -> bool {
+        self.inner.event_log.load(Ordering::Relaxed)
+    }
+
+    /// Record a collective call.  Counters always update; the per-event
+    /// log only when [`Self::set_event_logging`] enabled it (one relaxed
+    /// atomic check on the hot path otherwise).
     pub fn record_collective(&self, kind: CollectiveKind, comm_size: usize, elems: usize) {
         self.inner.collective_calls.fetch_add(1, Ordering::Relaxed);
         self.inner
             .collective_elems
             .fetch_add(elems as u64, Ordering::Relaxed);
-        self.events().push(CollectiveEvent {
-            kind,
-            comm_size,
-            elems,
-        });
+        if self.inner.event_log.load(Ordering::Relaxed) {
+            self.events().push(CollectiveEvent {
+                kind,
+                comm_size,
+                elems,
+                phase: agcm_obs::current_phase(),
+            });
+        }
     }
 
     /// Current totals.
@@ -168,6 +194,16 @@ impl StatsSnapshot {
     pub fn p2p_send_bytes(&self) -> u64 {
         self.p2p_send_elems * 8
     }
+
+    /// Bytes received point-to-point (8 bytes per `f64`).
+    pub fn p2p_recv_bytes(&self) -> u64 {
+        self.p2p_recv_elems * 8
+    }
+
+    /// Bytes contributed to collectives (8 bytes per `f64`).
+    pub fn collective_bytes(&self) -> u64 {
+        self.collective_elems * 8
+    }
 }
 
 #[cfg(test)]
@@ -188,6 +224,8 @@ mod tests {
         assert_eq!(snap.collective_calls, 1);
         assert_eq!(snap.collective_elems, 32);
         assert_eq!(snap.p2p_send_bytes(), 1200);
+        assert_eq!(snap.p2p_recv_bytes(), 800);
+        assert_eq!(snap.collective_bytes(), 256);
     }
 
     #[test]
@@ -215,12 +253,32 @@ mod tests {
     #[test]
     fn events_recorded_per_kind() {
         let s = CommStats::new();
+        s.set_event_logging(true);
         s.record_collective(CollectiveKind::Allreduce, 4, 8);
         s.record_collective(CollectiveKind::Allreduce, 4, 8);
         s.record_collective(CollectiveKind::Barrier, 4, 0);
         assert_eq!(s.count_collectives(CollectiveKind::Allreduce), 2);
         assert_eq!(s.count_collectives(CollectiveKind::Barrier), 1);
         assert_eq!(s.collective_events().len(), 3);
+        assert!(s
+            .collective_events()
+            .iter()
+            .all(|e| e.phase == Phase::Other));
+    }
+
+    #[test]
+    fn event_log_off_by_default_counters_still_on() {
+        let s = CommStats::new();
+        assert!(!s.event_logging());
+        s.record_collective(CollectiveKind::Allreduce, 4, 8);
+        assert_eq!(s.snapshot().collective_calls, 1);
+        assert!(s.collective_events().is_empty());
+        // clones share the flag, like the counters
+        let t = s.clone();
+        t.set_event_logging(true);
+        assert!(s.event_logging());
+        s.record_collective(CollectiveKind::Bcast, 4, 1);
+        assert_eq!(t.collective_events().len(), 1);
     }
 
     #[test]

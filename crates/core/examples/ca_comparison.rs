@@ -36,6 +36,7 @@ fn main() {
     // ---- Algorithm 1 (original) ----
     let cfg1 = cfg.clone();
     let mut r1 = Universe::run(RANKS, move |comm| {
+        comm.stats().set_event_logging(true); // collective_events is opt-in
         let mut m = Alg1Model::new(&cfg1, ProcessGrid::yz(4, 1).unwrap(), comm).unwrap();
         let ic = init::perturbed_rest(m.geom(), 250.0, 1.0, 11);
         m.set_state(&ic);
@@ -55,6 +56,7 @@ fn main() {
     // ---- Algorithm 2 (communication-avoiding) ----
     let cfg2 = cfg.clone();
     let mut r2 = Universe::run(RANKS, move |comm| {
+        comm.stats().set_event_logging(true); // collective_events is opt-in
         let mut m = CaModel::new(&cfg2, ProcessGrid::yz(4, 1).unwrap(), comm).unwrap();
         let ic = init::perturbed_rest(m.geom(), 250.0, 1.0, 11);
         m.set_state(&ic);

@@ -20,6 +20,7 @@ use crate::stdatm::StandardAtmosphere;
 use crate::vertical::{apply_c, ZContext};
 use agcm_comm::{CommResult, Communicator};
 use agcm_fft::FourierFilter;
+use agcm_obs as obs;
 
 /// How the Fourier filtering `F̃` runs for this rank.
 pub enum FilterCtx<'a> {
@@ -82,6 +83,8 @@ impl Engine {
         region: Region,
         fctx: &FilterCtx<'_>,
     ) -> CommResult<()> {
+        // F̃ span; the distributed path's alltoallv inherits Phase::F
+        let _f = obs::span_phase(obs::SpanKind::Op, obs::Phase::F, "filter");
         match fctx {
             FilterCtx::Local => {
                 filter_state_local(&self.geom, &self.filter, tend, region);
@@ -117,9 +120,29 @@ impl Engine {
         zctx: &ZContext<'_>,
         fctx: &FilterCtx<'_>,
     ) -> CommResult<()> {
-        self.fill(arg);
-        self.diag
-            .update_surface(&self.geom, &self.stdatm, arg, region.y0 - 1, region.y1 + 1);
+        // Â spans bracket only the stencil work; the nested C (collective)
+        // and F̃ (filter) operators open their own spans, so per-operator
+        // wall times are disjoint and sum to the sub-update total.
+        {
+            let _a = obs::span_phase(obs::SpanKind::Op, obs::Phase::A, "adaptation.local");
+            self.fill(arg);
+            self.diag
+                .update_surface(&self.geom, &self.stdatm, arg, region.y0 - 1, region.y1 + 1);
+            if !fresh_c {
+                debug_assert!(self.c_cached, "approximate iteration without a cache");
+                // stencil (Â) parts still evaluate at `arg`
+                self.diag.update_dsa(&self.geom, arg, region.y0, region.y1);
+                self.diag.update_dp(
+                    &self.geom,
+                    arg,
+                    region.y0,
+                    region.y1,
+                    region.z0,
+                    region.z1,
+                    if self.px1 { 0 } else { 1 },
+                );
+            }
+        }
         if fresh_c {
             // dsa/dp are inputs of apply_c's column sums
             apply_c(
@@ -132,23 +155,16 @@ impl Engine {
                 self.px1,
             )?;
             self.c_cached = true;
-        } else {
-            debug_assert!(self.c_cached, "approximate iteration without a cache");
-            // stencil (Â) parts still evaluate at `arg`
-            self.diag.update_dsa(&self.geom, arg, region.y0, region.y1);
-            self.diag.update_dp(
-                &self.geom,
-                arg,
-                region.y0,
-                region.y1,
-                region.z0,
-                region.z1,
-                if self.px1 { 0 } else { 1 },
-            );
         }
-        adaptation_tendency(&self.geom, arg, &self.diag, tend, region);
+        {
+            let _a = obs::span_phase(obs::SpanKind::Op, obs::Phase::A, "adaptation.tendency");
+            adaptation_tendency(&self.geom, arg, &self.diag, tend, region);
+        }
         self.apply_filter(tend, region, fctx)?;
-        out.lincomb_on(base, dt, tend, &region);
+        {
+            let _a = obs::span_phase(obs::SpanKind::Op, obs::Phase::A, "adaptation.lincomb");
+            out.lincomb_on(base, dt, tend, &region);
+        }
         Ok(())
     }
 
@@ -166,12 +182,18 @@ impl Engine {
         dt: f64,
         fctx: &FilterCtx<'_>,
     ) -> CommResult<()> {
-        self.fill(arg);
-        self.diag
-            .update_surface(&self.geom, &self.stdatm, arg, region.y0 - 1, region.y1 + 1);
-        advection_tendency(&self.geom, arg, &self.diag, tend, region);
+        {
+            let _l = obs::span_phase(obs::SpanKind::Op, obs::Phase::L, "advection.tendency");
+            self.fill(arg);
+            self.diag
+                .update_surface(&self.geom, &self.stdatm, arg, region.y0 - 1, region.y1 + 1);
+            advection_tendency(&self.geom, arg, &self.diag, tend, region);
+        }
         self.apply_filter(tend, region, fctx)?;
-        out.lincomb_on(base, dt, tend, &region);
+        {
+            let _l = obs::span_phase(obs::SpanKind::Op, obs::Phase::L, "advection.lincomb");
+            out.lincomb_on(base, dt, tend, &region);
+        }
         Ok(())
     }
 

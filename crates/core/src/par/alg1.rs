@@ -23,6 +23,7 @@ use crate::tables;
 use crate::vertical::ZContext;
 use agcm_comm::{CommResult, Communicator};
 use agcm_mesh::{Decomposition, HaloWidths, ProcessGrid};
+use agcm_obs as obs;
 use std::sync::Arc;
 
 /// Parallel original algorithm (Algorithm 1).
@@ -128,6 +129,8 @@ impl Alg1Model {
 
     /// Advance one time step.
     pub fn step(&mut self, comm: &Communicator) -> CommResult<()> {
+        obs::set_step(self.steps as u64);
+        let _step = obs::span(obs::SpanKind::Step, "alg1.step");
         let region = self.engine.geom.interior();
         let dt1 = self.engine.cfg.dt1;
         let dt2 = self.engine.cfg.dt2;
@@ -136,6 +139,7 @@ impl Alg1Model {
 
         // ---- adaptation ----
         for _ in 0..m {
+            let _iter = obs::span(obs::SpanKind::Iter, "adaptation.iter");
             let base = self.psi.clone();
             // sub-update 1
             self.exchanger
@@ -289,14 +293,18 @@ impl Alg1Model {
         self.engine.apply_forcing(&mut self.eta1, region);
         self.exchanger
             .exchange(comm, self.depth_smooth, &mut state_fields(&mut self.eta1))?;
-        self.engine.fill(&mut self.eta1);
-        smooth_full(
-            &self.engine.geom,
-            self.engine.cfg.smooth_beta,
-            &self.eta1,
-            &mut self.smoothed,
-            region,
-        );
+        {
+            // Algorithm 1 smooths in one unsplit pass = the paper's S1
+            let _s = obs::span_phase(obs::SpanKind::Op, obs::Phase::S1, "smooth.full");
+            self.engine.fill(&mut self.eta1);
+            smooth_full(
+                &self.engine.geom,
+                self.engine.cfg.smooth_beta,
+                &self.eta1,
+                &mut self.smoothed,
+                region,
+            );
+        }
         self.state.assign(&self.smoothed);
         self.steps += 1;
         Ok(())

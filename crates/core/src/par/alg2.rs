@@ -33,6 +33,7 @@ use crate::state::State;
 use crate::vertical::ZContext;
 use agcm_comm::{CommResult, Communicator};
 use agcm_mesh::{Decomposition, HaloWidths, ProcessGrid};
+use agcm_obs as obs;
 use std::sync::Arc;
 
 /// Parallel communication-avoiding algorithm (Algorithm 2).
@@ -205,6 +206,9 @@ impl CaModel {
             z1: nz as isize,
         };
         if self.pending_smooth && self.fused_smoothing {
+            // this is the compute the deep exchange hides (§4.3.1/§4.3.2)
+            let _ov = obs::span(obs::SpanKind::OverlapCompute, "overlap.smooth_former");
+            let _s1 = obs::span_phase(obs::SpanKind::Op, obs::Phase::S1, "smooth.former");
             smooth_full(
                 &self.engine.geom,
                 self.engine.cfg.smooth_beta,
@@ -240,6 +244,7 @@ impl CaModel {
             grow,
         );
         if self.pending_smooth && self.fused_smoothing {
+            let _s2 = obs::span_phase(obs::SpanKind::Op, obs::Phase::S2, "smooth.later");
             for strip in frame(&outer, &d1) {
                 smooth_full(
                     &self.engine.geom,
@@ -278,6 +283,8 @@ impl CaModel {
 
     /// Advance one time step (Algorithm 2 body, grouped-sweep form).
     pub fn step(&mut self, comm: &Communicator) -> CommResult<()> {
+        obs::set_step(self.steps as u64);
+        let _step = obs::span(obs::SpanKind::Step, "alg2.step");
         let m = self.engine.cfg.m_iters;
         let g = self.group;
         let ga = self.group_adv;
@@ -293,6 +300,7 @@ impl CaModel {
         if self.pending_smooth && !self.fused_smoothing {
             self.exchanger
                 .exchange(comm, self.smooth_depth, &mut state_fields(&mut self.state))?;
+            let _s = obs::span_phase(obs::SpanKind::Op, obs::Phase::S1, "smooth.full");
             self.engine.fill(&mut self.state);
             smooth_full(
                 &self.engine.geom,
@@ -310,6 +318,7 @@ impl CaModel {
 
         // ---- 3M adaptation sweeps in groups -------------------------------
         for _iter in 0..m {
+            let _itspan = obs::span(obs::SpanKind::Iter, "adaptation.iter");
             if valid == 0 {
                 // iteration-aligned group boundary
                 self.group_exchange(comm)?;
@@ -430,15 +439,20 @@ impl CaModel {
         let dila = |d: isize| interior.dilate(d, d, ny, nz, self.shallow, grow);
         let outer1 = dila(ga as isize - 1);
         let inner1 = interior.shrink(1, 1);
-        self.engine.advection_subupdate(
-            &base,
-            &mut self.psi,
-            &mut self.eta1,
-            &mut self.tend,
-            inner1,
-            dt2,
-            &FilterCtx::Local,
-        )?;
+        {
+            // inner-region sweep deliberately placed inside the exchange
+            // window (§4.3.1)
+            let _ov = obs::span(obs::SpanKind::OverlapCompute, "overlap.advection_inner");
+            self.engine.advection_subupdate(
+                &base,
+                &mut self.psi,
+                &mut self.eta1,
+                &mut self.tend,
+                inner1,
+                dt2,
+                &FilterCtx::Local,
+            )?;
+        }
         {
             let mut fields = [
                 ExField::F3(&mut self.psi.u),
@@ -536,6 +550,7 @@ impl CaModel {
         }
         self.exchanger
             .exchange(comm, self.smooth_depth, &mut state_fields(&mut self.state))?;
+        let _s = obs::span_phase(obs::SpanKind::Op, obs::Phase::S1, "smooth.full");
         self.engine.fill(&mut self.state);
         smooth_full(
             &self.engine.geom,

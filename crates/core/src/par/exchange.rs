@@ -14,6 +14,7 @@
 use crate::geometry::LocalGeometry;
 use agcm_comm::{CommResult, Communicator};
 use agcm_mesh::{Decomposition, ExchangePlan, Field2, Field3, HaloWidths};
+use agcm_obs as obs;
 
 /// A field participating in an exchange.
 pub enum ExField<'a> {
@@ -94,6 +95,7 @@ impl HaloExchanger {
     ) -> CommResult<Pending> {
         let seq = self.seq;
         self.seq += 1;
+        let mut span = obs::span(obs::SpanKind::ExchangePost, "halo.post");
         let mut buf = Vec::new();
         for (fi, f) in fields.iter_mut().enumerate() {
             let plan = self.plan_for(depth, Self::field_extents(f));
@@ -117,6 +119,7 @@ impl HaloExchanger {
                     }
                 }
                 let t = wire_tag(seq, dir_index(spec.link.offset), fi);
+                span.add_bytes(8 * buf.len() as u64);
                 comm.send(spec.link.rank, t, &buf)?;
             }
         }
@@ -131,6 +134,10 @@ impl HaloExchanger {
         pending: Pending,
         fields: &mut [ExField<'_>],
     ) -> CommResult<()> {
+        // one wait span per completed exchange: the overlap profile sums
+        // these against OverlapCompute spans, and the schedule cross-check
+        // counts them (one finish_recvs == one communication)
+        let mut span = obs::span(obs::SpanKind::ExchangeWait, "halo.wait");
         for (fi, f) in fields.iter_mut().enumerate() {
             let plan = self.plan_for(pending.depth, Self::field_extents(f));
             for spec in plan.specs() {
@@ -142,6 +149,7 @@ impl HaloExchanger {
                 let (dx, dy, dz) = spec.link.offset;
                 let t = wire_tag(pending.seq, dir_index((-dx, -dy, -dz)), fi);
                 let data = comm.recv(spec.link.rank, t)?;
+                span.add_bytes(8 * data.len() as u64);
                 match f {
                     ExField::F3(f3) => {
                         let n = f3.unpack_box(

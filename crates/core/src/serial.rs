@@ -83,6 +83,8 @@ impl SerialModel {
 
     /// Advance one full time step (Algorithm 1 body).
     pub fn step(&mut self) {
+        agcm_obs::set_step(self.steps as u64);
+        let _step = agcm_obs::span(agcm_obs::SpanKind::Step, "serial.step");
         let region = self.engine.geom.interior();
         let zctx = ZContext::Serial;
         let fctx = FilterCtx::Local;
@@ -95,6 +97,7 @@ impl SerialModel {
 
         // ---- adaptation: M nonlinear iterations of 3 sub-updates --------
         for _ in 0..m {
+            let _iter = agcm_obs::span(agcm_obs::SpanKind::Iter, "adaptation.iter");
             // first sub-update: exact → fresh C; approximate → cached C
             // (bootstrap: the very first sub-update ever has no cache yet)
             let fresh1 = match self.variant {
@@ -189,14 +192,18 @@ impl SerialModel {
 
         // ---- physics (H-S) then smoothing ξ^{(k)} = S̃(ζ₃) ---------------
         self.engine.apply_forcing(&mut self.eta1, region);
-        self.engine.fill(&mut self.eta1);
-        smooth_full(
-            &self.engine.geom,
-            self.engine.cfg.smooth_beta,
-            &self.eta1,
-            &mut self.smoothed,
-            region,
-        );
+        {
+            let _s =
+                agcm_obs::span_phase(agcm_obs::SpanKind::Op, agcm_obs::Phase::S1, "smooth.full");
+            self.engine.fill(&mut self.eta1);
+            smooth_full(
+                &self.engine.geom,
+                self.engine.cfg.smooth_beta,
+                &self.eta1,
+                &mut self.smoothed,
+                region,
+            );
+        }
         self.state.assign(&self.smoothed);
         self.steps += 1;
     }

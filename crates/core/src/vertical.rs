@@ -68,6 +68,8 @@ pub fn apply_c(
     zctx: &ZContext<'_>,
     wrap_x: bool,
 ) -> CommResult<()> {
+    // the whole of C — the nested allgather inherits Phase::C
+    let _c = agcm_obs::span_phase(agcm_obs::SpanKind::Op, agcm_obs::Phase::C, "apply_c");
     let nx = geom.nx as isize;
     let nz = geom.nz as isize;
     // X-Y decompositions exchange (not wrap) the x halo, so the C outputs

@@ -172,6 +172,7 @@ fn yz_filter_is_communication_free_xy_pays_transposes() {
     // Y-Z: no alltoall events at all
     let cfg_yz = cfg.clone();
     let yz_alltoalls = Universe::run(2, move |comm| {
+        comm.stats().set_event_logging(true); // per-kind counts need the log
         let mut model = Alg1Model::new(&cfg_yz, ProcessGrid::yz(2, 1).unwrap(), comm).unwrap();
         let ic = init::perturbed_rest(model.geom(), 100.0, 0.0, 1);
         model.set_state(&ic);
@@ -183,6 +184,7 @@ fn yz_filter_is_communication_free_xy_pays_transposes() {
     let m = cfg.m_iters;
     let cfg_xy = cfg.clone();
     let xy_alltoalls = Universe::run(2, move |comm| {
+        comm.stats().set_event_logging(true);
         let mut model = Alg1Model::new(&cfg_xy, ProcessGrid::xy(2, 1).unwrap(), comm).unwrap();
         let ic = init::perturbed_rest(model.geom(), 100.0, 0.0, 1);
         model.set_state(&ic);

@@ -22,6 +22,7 @@ where
 {
     let cfg = cfg.clone();
     Universe::run(p, move |comm| {
+        comm.stats().set_event_logging(true); // p2p_only_delta needs events
         let mut stepper = mk(&cfg, comm);
         stepper(comm); // warm-up step (bootstraps CA cache)
         let s0 = comm.stats().snapshot();

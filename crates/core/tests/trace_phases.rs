@@ -1,0 +1,98 @@
+//! Operator-phase attribution through the observability layer.
+//!
+//! * Algorithm 2 splits the smoothing operator into S1 (the former part,
+//!   fused into the deep exchange and overlapped) and S2 (the later part on
+//!   the frame strips) — the trace must report them as *separate* operator
+//!   spans (§4.3.2).
+//! * The approximate nonlinear iteration cuts the vertical collectives from
+//!   `3M` to `2M` per step (§4.2.2) — visible through the phase-tagged
+//!   collective-event log: every z-allgather carries `Phase::C`.
+
+use agcm_comm::Universe;
+use agcm_core::init;
+use agcm_core::par::{Alg1Model, CaModel};
+use agcm_core::ModelConfig;
+use agcm_mesh::ProcessGrid;
+use agcm_obs as obs;
+
+fn cfg_for_ca() -> ModelConfig {
+    let mut cfg = ModelConfig::test_medium();
+    cfg.m_iters = 1; // deep halo fits the blocks
+    cfg
+}
+
+#[test]
+fn alg2_smoothing_split_reports_s1_and_s2_separately() {
+    let _guard = obs::exclusive();
+    obs::reset();
+    obs::enable();
+    let cfg = cfg_for_ca();
+    Universe::run(4, move |comm| {
+        let mut m = CaModel::new(&cfg, ProcessGrid::yz(2, 2).unwrap(), comm).unwrap();
+        let ic = init::perturbed_rest(m.geom(), 100.0, 1.0, 3);
+        m.set_state(&ic);
+        m.step(comm).unwrap(); // bootstrap: leaves a smoothing pending
+        m.step(comm).unwrap(); // steady state: fused S1 + S2
+    });
+    obs::disable();
+    let events = obs::drain();
+    // steady-state step, operator spans only
+    let ops: Vec<_> = events
+        .iter()
+        .filter(|e| e.step == 1 && e.kind == obs::SpanKind::Op)
+        .collect();
+    let s1: Vec<_> = ops.iter().filter(|e| e.phase == obs::Phase::S1).collect();
+    let s2: Vec<_> = ops.iter().filter(|e| e.phase == obs::Phase::S2).collect();
+    // one fused smoothing per rank: the former part under S1, the later
+    // (edge rows + halo frame) under S2 — distinct phases, distinct sites
+    assert_eq!(s1.len(), 4, "one S1 span per rank");
+    assert_eq!(s2.len(), 4, "one S2 span per rank");
+    assert!(s1.iter().all(|e| e.name == "smooth.former"));
+    assert!(s2.iter().all(|e| e.name == "smooth.later"));
+}
+
+/// Count the phase-`C` collective events of the second (steady-state) step.
+fn steady_c_collectives<FMK>(mk: FMK) -> Vec<usize>
+where
+    FMK: Fn(&mut agcm_comm::Communicator) -> Box<dyn FnMut(&agcm_comm::Communicator)> + Sync,
+{
+    Universe::run(2, move |comm| {
+        comm.stats().set_event_logging(true); // per-event phases need the log
+        let mut step = mk(comm);
+        step(comm); // warm-up (bootstraps the CA cache)
+        let e0 = comm.stats().collective_events().len();
+        step(comm);
+        comm.stats().collective_events()[e0..]
+            .iter()
+            .filter(|e| e.phase == obs::Phase::C)
+            .count()
+    })
+}
+
+#[test]
+fn vertical_collectives_drop_from_3m_to_2m_in_phase_tags() {
+    let cfg = cfg_for_ca(); // M = 1
+    let m = cfg.m_iters;
+
+    let cfg1 = cfg.clone();
+    let alg1 = steady_c_collectives(move |comm| {
+        let mut model = Alg1Model::new(&cfg1, ProcessGrid::yz(1, 2).unwrap(), comm).unwrap();
+        let ic = init::perturbed_rest(model.geom(), 100.0, 0.0, 1);
+        model.set_state(&ic);
+        Box::new(move |c| model.step(c).unwrap())
+    });
+    let cfg2 = cfg.clone();
+    let alg2 = steady_c_collectives(move |comm| {
+        let mut model = CaModel::new(&cfg2, ProcessGrid::yz(1, 2).unwrap(), comm).unwrap();
+        let ic = init::perturbed_rest(model.geom(), 100.0, 0.0, 1);
+        model.set_state(&ic);
+        Box::new(move |c| model.step(c).unwrap())
+    });
+
+    for &n in &alg1 {
+        assert_eq!(n, 3 * m, "Alg 1: 3M z-allgathers per step, all tagged C");
+    }
+    for &n in &alg2 {
+        assert_eq!(n, 2 * m, "Alg 2: 2M — one third of the C collectives cut");
+    }
+}

@@ -2,7 +2,7 @@
 //!
 //! Near the poles the longitude grid lines of a latitude–longitude mesh
 //! cluster, which makes the CFL limit on the time step collapse.  The
-//! classical cure (the paper's reference [21], Umscheid & Sankar-Rao 1971)
+//! classical cure (the paper's reference \[21\], Umscheid & Sankar-Rao 1971)
 //! is to damp the high zonal wavenumbers of every latitude circle poleward
 //! of a critical latitude `φ_c`: transform the circle with a 1-D FFT,
 //! multiply wavenumber `m` by

@@ -2,7 +2,7 @@
 //!
 //! The analyzer's per-rank message/volume/collective counts must equal the
 //! independent per-rank predictor of [`agcm_core::analysis`]
-//! ([`predict_rank_mode`]), and the per-step synchronization totals must
+//! ([`agcm_core::analysis::predict_rank_mode`]), and the per-step synchronization totals must
 //! equal the §5.3 closed forms (`S_YZ = 6M + 4`, `S_CA = 2M + 2`,
 //! `S_XY = 9M + 10` per step) — turning the paper's headline claims
 //! (13 → 2 stencil exchanges, one third of the vertical collectives

@@ -22,6 +22,12 @@
 //!    reduction become machine-checked assertions.
 //! 4. **Runtime cross-check** ([`runtime::cross_check`]): at small p the
 //!    same counts equal the traffic a real thread-backed run measures.
+//! 5. **Trace cross-check** ([`trace::trace_cross_check`]): the span
+//!    stream `agcm-obs` records from inside an executing step — one
+//!    `ExchangeWait` span per exchange, one phase-`C` `Collective` span
+//!    per z-allgather — also equals the schedule, pinning the
+//!    *instrumentation* (which the figures' trace exporter consumes) to
+//!    the same ground truth.
 //!
 //! [`report::certify_yz`] bundles the static analyses;
 //! `cargo run -p agcm-bench --bin figures -- verify` prints the paper-mesh
@@ -33,6 +39,7 @@ pub mod graph;
 pub mod matching;
 pub mod report;
 pub mod runtime;
+pub mod trace;
 
 pub use counts::{certify_counts, rank_counts, CountReport, RankCounts};
 pub use deadlock::{check_deadlock, DeadlockReport};
@@ -40,3 +47,6 @@ pub use graph::{Action, RecvEvent, ScheduleGraph, SendEvent};
 pub use matching::{check_matching, MatchReport};
 pub use report::{certify_paper_ranks, certify_yz, paper_yz_grid, Certification, PAPER_RANKS};
 pub use runtime::{cross_check, measure_step, MeasuredTraffic};
+pub use trace::{
+    expected_counts, measure_spans, trace_cross_check, ExpectedSpanCounts, RankSpanCounts,
+};

@@ -32,6 +32,9 @@ pub struct MeasuredTraffic {
 pub fn measure_step(cfg: &ModelConfig, alg: AlgKind, pgrid: ProcessGrid) -> Vec<MeasuredTraffic> {
     let cfg = cfg.clone();
     Universe::run(pgrid.size(), move |comm| {
+        // the per-event log (needed to subtract collective-internal p2p)
+        // is opt-in since it grows unboundedly on long runs
+        comm.stats().set_event_logging(true);
         let mut step: Box<dyn FnMut(&Communicator)> = match alg {
             AlgKind::CommAvoiding => {
                 let mut m = CaModel::new(&cfg, pgrid, comm).expect("valid CA model");

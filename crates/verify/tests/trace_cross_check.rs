@@ -1,0 +1,43 @@
+//! The trace stream of an executing step equals the static schedule.
+
+use agcm_core::analysis::AlgKind;
+use agcm_core::ModelConfig;
+use agcm_mesh::ProcessGrid;
+
+fn cfg_for_ca() -> ModelConfig {
+    let mut cfg = ModelConfig::test_medium();
+    cfg.m_iters = 1; // deep halo fits the 2x2 blocks
+    cfg
+}
+
+#[test]
+fn alg1_trace_matches_schedule_at_p4() {
+    let cfg = ModelConfig::test_medium();
+    let pg = ProcessGrid::yz(2, 2).unwrap();
+    let counts = agcm_verify::trace_cross_check(&cfg, AlgKind::OriginalYZ, pg)
+        .expect("trace must match the static schedule");
+    let want = agcm_verify::expected_counts(&cfg, AlgKind::OriginalYZ, pg);
+    // the paper's 3M + 4 = 13 exchanges, 3M = 9 z-collectives at p_z = 2
+    assert_eq!(want.exchanges, 3 * cfg.m_iters as u64 + 4);
+    assert_eq!(want.z_allgathers, 3 * cfg.m_iters as u64);
+    for c in &counts {
+        assert_eq!(c.exchange_waits, want.exchanges);
+        assert_eq!(c.c_collectives, want.z_allgathers);
+    }
+}
+
+#[test]
+fn alg2_trace_matches_schedule_at_p4() {
+    let cfg = cfg_for_ca();
+    let pg = ProcessGrid::yz(2, 2).unwrap();
+    let counts = agcm_verify::trace_cross_check(&cfg, AlgKind::CommAvoiding, pg)
+        .expect("trace must match the static schedule");
+    let want = agcm_verify::expected_counts(&cfg, AlgKind::CommAvoiding, pg);
+    // the paper's 13 -> 2 exchanges and 3M -> 2M vertical collectives
+    assert_eq!(want.exchanges, 2);
+    assert_eq!(want.z_allgathers, 2 * cfg.m_iters as u64);
+    for c in &counts {
+        assert_eq!(c.exchange_waits, want.exchanges);
+        assert_eq!(c.c_collectives, want.z_allgathers);
+    }
+}
