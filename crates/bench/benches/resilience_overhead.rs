@@ -1,0 +1,123 @@
+//! Overhead of the resilience layer when **no faults fire** (ISSUE 3
+//! satellite): checkpoint ring + checksum framing together must cost
+//! < 2% of a communication-avoiding step.
+//!
+//! Three configurations of the same 4-rank CA run are timed:
+//!
+//! * baseline — plain `CaModel::run`, no framing, no checkpoints,
+//! * framed — checksum-framed exchanges with the default retry policy
+//!   (the frame is 3 extra f64 per message + one FNV-1a pass over each
+//!   payload on both sides),
+//! * resilient — framed exchanges *and* the `ResilientRunner` loop:
+//!   a checkpoint every other step plus one 3-element control allreduce
+//!   per step (the blow-up-guard consensus).
+//!
+//! The acceptance bound covers the full fault-free resilience stack
+//! (resilient vs baseline).
+
+use agcm_bench::timing::{bench, group};
+use agcm_comm::Universe;
+use agcm_core::init;
+use agcm_core::par::{CaModel, RetryPolicy};
+use agcm_core::resilience::{ResilienceConfig, ResilientRunner};
+use agcm_core::ModelConfig;
+use agcm_mesh::ProcessGrid;
+use std::time::Duration;
+
+const RANKS: usize = 4;
+const STEPS: usize = 6;
+const ITERS: usize = 7;
+
+fn bench_config() -> ModelConfig {
+    let mut cfg = ModelConfig::test_medium();
+    cfg.ny = 48; // 4 y-blocks hold the full CA halo at M = 3
+    cfg
+}
+
+fn run_baseline(cfg: &ModelConfig) -> f64 {
+    let cfg = cfg.clone();
+    Universe::run(RANKS, move |comm| {
+        let mut m = CaModel::new(&cfg, ProcessGrid::yz(RANKS, 1).unwrap(), comm).unwrap();
+        let ic = init::perturbed_rest(m.geom(), 150.0, 1.0, 5);
+        m.set_state(&ic);
+        m.run(comm, STEPS).unwrap();
+        m.state.max_abs()
+    })
+    .pop()
+    .unwrap()
+}
+
+fn run_framed(cfg: &ModelConfig) -> f64 {
+    let cfg = cfg.clone();
+    Universe::run(RANKS, move |comm| {
+        let mut m = CaModel::new(&cfg, ProcessGrid::yz(RANKS, 1).unwrap(), comm).unwrap();
+        m.set_framed(true);
+        m.set_retry(RetryPolicy::default());
+        let ic = init::perturbed_rest(m.geom(), 150.0, 1.0, 5);
+        m.set_state(&ic);
+        m.run(comm, STEPS).unwrap();
+        m.state.max_abs()
+    })
+    .pop()
+    .unwrap()
+}
+
+fn run_resilient(cfg: &ModelConfig) -> f64 {
+    let cfg = cfg.clone();
+    Universe::run(RANKS, move |comm| {
+        let mut m = CaModel::new(&cfg, ProcessGrid::yz(RANKS, 1).unwrap(), comm).unwrap();
+        m.set_framed(true);
+        m.set_retry(RetryPolicy::default());
+        let ic = init::perturbed_rest(m.geom(), 150.0, 1.0, 5);
+        m.set_state(&ic);
+        let mut runner = ResilientRunner::new(
+            comm,
+            ResilienceConfig {
+                checkpoint_interval: 2,
+                ring_capacity: 2,
+                max_rollbacks: 4,
+                max_abs_limit: 1e6,
+                checkpoint_dir: None,
+            },
+        )
+        .unwrap();
+        let report = runner.run(&mut m, comm, STEPS as u64).unwrap();
+        assert_eq!(report.rollbacks, 0, "fault-free run must not roll back");
+        m.state.max_abs()
+    })
+    .pop()
+    .unwrap()
+}
+
+fn main() {
+    group("resilience_overhead");
+    let cfg = bench_config();
+
+    let base = bench("alg2_ca_6steps_baseline", ITERS, {
+        let cfg = cfg.clone();
+        move || run_baseline(&cfg)
+    });
+    let framed = bench("alg2_ca_6steps_framed", ITERS, {
+        let cfg = cfg.clone();
+        move || run_framed(&cfg)
+    });
+    let resilient = bench("alg2_ca_6steps_ckpt_ring+framed", ITERS, {
+        let cfg = cfg.clone();
+        move || run_resilient(&cfg)
+    });
+
+    let pct = |d: Duration| 100.0 * (d.as_secs_f64() / base.as_secs_f64() - 1.0);
+    println!(
+        "framing overhead: {:+.2}%   full resilience stack: {:+.2}%   (bound: < 2%)",
+        pct(framed),
+        pct(resilient)
+    );
+    // thread spawn/join noise dominates at this scale; a negative delta
+    // just means the run landed inside the noise floor
+    assert!(
+        pct(resilient) < 2.0,
+        "fault-free resilience stack costs {:+.2}% of a CA step, bound is 2%",
+        pct(resilient)
+    );
+    println!("PASS: checkpoint ring + checksum framing < 2% of a CA step");
+}

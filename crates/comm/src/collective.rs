@@ -126,6 +126,8 @@ impl Communicator {
                 return Err(CommError::SizeMismatch {
                     expected: recv_b.len(),
                     got: incoming.len(),
+                    src: prev,
+                    tag,
                 });
             }
             op.apply(&mut data[recv_b], &incoming);
@@ -141,6 +143,8 @@ impl Communicator {
                 return Err(CommError::SizeMismatch {
                     expected: recv_b.len(),
                     got: incoming.len(),
+                    src: prev,
+                    tag,
                 });
             }
             data[recv_b].copy_from_slice(&incoming);
@@ -254,6 +258,8 @@ impl Communicator {
                     return Err(CommError::SizeMismatch {
                         expected: data.len(),
                         got: incoming.len(),
+                        src: (src + root) % p,
+                        tag,
                     });
                 }
                 data.copy_from_slice(&incoming);
@@ -307,6 +313,8 @@ impl Communicator {
                 return Err(CommError::SizeMismatch {
                     expected: n,
                     got: incoming.len(),
+                    src: prev,
+                    tag,
                 });
             }
             out[recv_blk * n..(recv_blk + 1) * n].copy_from_slice(&incoming);

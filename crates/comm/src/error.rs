@@ -7,7 +7,8 @@ use std::time::Duration;
 ///
 /// A real MPI job would abort on most of these; the simulated runtime turns
 /// them into values so tests can inject failures and assert on the exact
-/// failure mode (deadlock, size mismatch, invalid rank).
+/// failure mode (deadlock, size mismatch, invalid rank, peer failure,
+/// payload corruption).
 #[derive(Debug, Clone, PartialEq)]
 pub enum CommError {
     /// A receive matched no message within the deadlock timeout.
@@ -20,6 +21,12 @@ pub enum CommError {
         tag: u32,
         /// How long the receive waited.
         waited: Duration,
+        /// Operator phase active on the receiving thread.
+        phase: agcm_obs::Phase,
+        /// Per-rank send/recv event index when the wait gave up (the
+        /// deterministic clock fault specs pin to — see
+        /// [`crate::FaultPlan`]).
+        events_so_far: u64,
     },
     /// A rank index was outside `0..size`.
     InvalidRank {
@@ -34,14 +41,46 @@ pub enum CommError {
         expected: usize,
         /// Received number of `f64` values.
         got: usize,
+        /// Source rank of the offending message (communicator-local).
+        src: usize,
+        /// Tag of the offending message.
+        tag: u32,
     },
     /// The peer's mailbox is gone (its thread panicked or returned early).
     PeerGone {
         /// The unreachable peer (global rank).
         peer: usize,
     },
+    /// A peer rank panicked mid-run and poisoned the mailboxes; the
+    /// operation can never complete.
+    PeerFailed {
+        /// The failed peer (global rank).
+        peer: usize,
+    },
+    /// A framed receive failed payload validation (length/checksum frame),
+    /// i.e. the payload was corrupted in flight.
+    CorruptPayload {
+        /// Source rank of the corrupt message (communicator-local).
+        src: usize,
+        /// Tag of the corrupt message.
+        tag: u32,
+        /// What the validation found.
+        detail: String,
+    },
     /// A collective was called with inconsistent arguments across ranks.
     CollectiveMismatch(String),
+}
+
+impl CommError {
+    /// Whether a retry of the same receive could plausibly succeed
+    /// (transient corruption / lost first delivery) as opposed to a
+    /// permanent condition (dead peer, wrong program).
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            CommError::CorruptPayload { .. } | CommError::DeadlockTimeout { .. }
+        )
+    }
 }
 
 impl fmt::Display for CommError {
@@ -52,17 +91,35 @@ impl fmt::Display for CommError {
                 src,
                 tag,
                 waited,
+                phase,
+                events_so_far,
             } => write!(
                 f,
-                "rank {rank}: no message from src {src} tag {tag} after {waited:?} (deadlock?)"
+                "rank {rank}: no message from src {src} tag {tag} after {waited:?} \
+                 (phase {phase:?}, {events_so_far} events so far; deadlock?)"
             ),
             CommError::InvalidRank { rank, size } => {
                 write!(f, "rank {rank} outside communicator of size {size}")
             }
-            CommError::SizeMismatch { expected, got } => {
-                write!(f, "message size mismatch: expected {expected}, got {got}")
+            CommError::SizeMismatch {
+                expected,
+                got,
+                src,
+                tag,
+            } => {
+                write!(
+                    f,
+                    "message size mismatch from src {src} tag {tag}: \
+                     expected {expected}, got {got}"
+                )
             }
             CommError::PeerGone { peer } => write!(f, "peer rank {peer} is gone"),
+            CommError::PeerFailed { peer } => {
+                write!(f, "peer rank {peer} failed (panicked mid-run)")
+            }
+            CommError::CorruptPayload { src, tag, detail } => {
+                write!(f, "corrupt payload from src {src} tag {tag}: {detail}")
+            }
             CommError::CollectiveMismatch(m) => write!(f, "collective mismatch: {m}"),
         }
     }
@@ -84,20 +141,63 @@ mod tests {
             src: 0,
             tag: 7,
             waited: Duration::from_secs(3),
+            phase: agcm_obs::Phase::Other,
+            events_so_far: 12,
         };
         assert!(e.to_string().contains("deadlock"));
+        assert!(e.to_string().contains("12 events"));
         assert!(CommError::InvalidRank { rank: 9, size: 4 }
             .to_string()
             .contains("size 4"));
-        assert!(CommError::SizeMismatch {
+        let sm = CommError::SizeMismatch {
             expected: 3,
-            got: 4
+            got: 4,
+            src: 2,
+            tag: 0x55,
+        };
+        assert!(sm.to_string().contains("expected 3"));
+        assert!(sm.to_string().contains("src 2"));
+        assert!(CommError::PeerGone { peer: 2 }.to_string().contains("2"));
+        assert!(CommError::PeerFailed { peer: 3 }
+            .to_string()
+            .contains("panicked"));
+        assert!(CommError::CorruptPayload {
+            src: 1,
+            tag: 9,
+            detail: "checksum".into()
         }
         .to_string()
-        .contains("expected 3"));
-        assert!(CommError::PeerGone { peer: 2 }.to_string().contains("2"));
+        .contains("checksum"));
         assert!(CommError::CollectiveMismatch("x".into())
             .to_string()
             .contains("x"));
+    }
+
+    #[test]
+    fn transient_classification() {
+        assert!(CommError::CorruptPayload {
+            src: 0,
+            tag: 1,
+            detail: String::new()
+        }
+        .is_transient());
+        assert!(CommError::DeadlockTimeout {
+            rank: 0,
+            src: 1,
+            tag: 2,
+            waited: Duration::ZERO,
+            phase: agcm_obs::Phase::Other,
+            events_so_far: 0,
+        }
+        .is_transient());
+        assert!(!CommError::PeerFailed { peer: 1 }.is_transient());
+        assert!(!CommError::PeerGone { peer: 1 }.is_transient());
+        assert!(!CommError::SizeMismatch {
+            expected: 1,
+            got: 2,
+            src: 0,
+            tag: 0
+        }
+        .is_transient());
     }
 }

@@ -15,6 +15,7 @@
 
 pub mod collective;
 pub mod error;
+pub mod fault;
 #[cfg(loom)]
 mod loom_model;
 pub mod model;
@@ -23,6 +24,9 @@ pub mod stats;
 
 pub use collective::{AllreduceAlgo, ReduceOp};
 pub use error::{CommError, CommResult};
+pub use fault::{
+    checksum, splitmix64, FaultAction, FaultEvent, FaultKind, FaultPlan, FaultRule, FaultSite,
+};
 pub use model::{p2p_only_delta, CostModel};
-pub use runtime::{default_timeout, Communicator, Universe};
-pub use stats::{CollectiveEvent, CollectiveKind, CommStats, StatsSnapshot};
+pub use runtime::{default_timeout, Communicator, Universe, FRAME_WORDS};
+pub use stats::{CollectiveEvent, CollectiveKind, CommStats, FaultSnapshot, StatsSnapshot};

@@ -22,6 +22,7 @@
 //! the traffic this runtime counts, as explained in `DESIGN.md`.
 
 use crate::error::{CommError, CommResult};
+use crate::fault::{self, FaultAction, FaultEvent, FaultKind, FaultPlan, FaultSite};
 use crate::stats::CommStats;
 use agcm_obs as obs;
 use std::cell::{Cell, RefCell};
@@ -50,6 +51,16 @@ pub fn default_timeout() -> Duration {
 /// Tags with this bit set are reserved for collectives.
 pub(crate) const COLLECTIVE_TAG_BIT: u32 = 0x8000_0000;
 
+/// Context id of poison envelopes (sent when a rank panics so peers fail
+/// fast instead of waiting out the deadlock timeout).  Real contexts are
+/// allocated from 0 upward and can never reach this value.
+const POISON_CTX: u64 = u64::MAX;
+
+/// Trailer words appended by [`Communicator::send_framed`]:
+/// `[payload_len, checksum_lo32, checksum_hi32]`, each stored as an
+/// exactly-representable small `f64`.
+pub const FRAME_WORDS: usize = 3;
+
 /// Message-latency histogram: time a rank spends blocked in `recv` waiting
 /// for the matching message (only sampled while tracing is enabled, so the
 /// hot path pays one relaxed load).
@@ -59,12 +70,93 @@ fn recv_wait_hist() -> &'static Arc<obs::Histogram> {
 }
 
 /// A message in flight.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub(crate) struct Envelope {
     pub ctx: u64,
     pub src_global: usize,
     pub tag: u32,
     pub data: Vec<f64>,
+    /// Injected link faults riding on the envelope: how many deliveries to
+    /// lose / corrupt before the clean payload gets through (the receiver
+    /// applies these, modelling loss on the wire while keeping the runtime's
+    /// eager-copy architecture).
+    pub drops: u32,
+    pub corrupt: u32,
+    pub corrupt_bit: u32,
+    pub corrupt_seed: u64,
+    /// Injected duplicate: delivered, but never counted as traffic.
+    pub redundant: bool,
+}
+
+impl Envelope {
+    fn new(ctx: u64, src_global: usize, tag: u32, data: Vec<f64>) -> Self {
+        Envelope {
+            ctx,
+            src_global,
+            tag,
+            data,
+            drops: 0,
+            corrupt: 0,
+            corrupt_bit: 0,
+            corrupt_seed: 0,
+            redundant: false,
+        }
+    }
+
+    fn poison(src_global: usize) -> Self {
+        Envelope::new(POISON_CTX, src_global, 0, Vec::new())
+    }
+
+    /// The payload with the injected bit flip applied (the stored data
+    /// stays clean for a retry).
+    fn corrupted_copy(&self) -> Vec<f64> {
+        let mut data = self.data.clone();
+        if !data.is_empty() {
+            let idx = (self.corrupt_seed % data.len() as u64) as usize;
+            data[idx] = f64::from_bits(data[idx].to_bits() ^ (1u64 << self.corrupt_bit));
+        }
+        data
+    }
+}
+
+/// Per-rank fault-injection state, shared (via `Rc`) by every communicator
+/// split from the one the plan was installed on, so the per-rank event
+/// counter — the deterministic clock fault specs pin to — is global to the
+/// rank, not per-communicator.
+pub(crate) struct FaultCtx {
+    plan: FaultPlan,
+    /// Index of the next send/recv operation on this rank.
+    event: Cell<u64>,
+    /// Per-rule match counters backing `nth=` selectors.
+    nth: RefCell<Vec<u64>>,
+    /// Messages held back by `delay` faults: `(release_event, peer, env)`.
+    held: RefCell<Vec<(u64, usize, Envelope)>>,
+    /// Every fault fired so far, in firing order (the replayable schedule).
+    log: RefCell<Vec<FaultEvent>>,
+}
+
+impl FaultCtx {
+    fn new(plan: FaultPlan) -> Self {
+        let n = plan.rules.len();
+        FaultCtx {
+            plan,
+            event: Cell::new(0),
+            nth: RefCell::new(vec![0; n]),
+            held: RefCell::new(Vec::new()),
+            log: RefCell::new(Vec::new()),
+        }
+    }
+}
+
+fn fault_metric_name(kind: FaultKind) -> &'static str {
+    match kind {
+        FaultKind::Drop => "comm.fault.drop",
+        FaultKind::Corrupt => "comm.fault.corrupt",
+        FaultKind::Dup => "comm.fault.dup",
+        FaultKind::Delay => "comm.fault.delay",
+        FaultKind::Stall => "comm.fault.stall",
+        FaultKind::Crash => "comm.fault.crash",
+    }
 }
 
 pub(crate) struct Shared {
@@ -107,14 +199,29 @@ impl Universe {
                     // tag trace events from this thread with its rank
                     obs::set_rank(rank);
                     let mut comm = Communicator::world(shared, rank, p, rx);
-                    f(&mut comm)
+                    // Catch the rank's panic so peers can be poisoned
+                    // (fail-fast PeerFailed instead of a full deadlock
+                    // timeout); the payload is re-thrown at join.
+                    let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut comm)));
+                    if r.is_err() {
+                        comm.poison_peers();
+                    }
+                    r
                 }));
             }
+            let mut first_panic = None;
             for (rank, h) in handles.into_iter().enumerate() {
                 match h.join() {
-                    Ok(v) => out[rank] = Some(v),
-                    Err(e) => std::panic::resume_unwind(e),
+                    Ok(Ok(v)) => out[rank] = Some(v),
+                    Ok(Err(payload)) | Err(payload) => {
+                        if first_panic.is_none() {
+                            first_panic = Some(payload);
+                        }
+                    }
                 }
+            }
+            if let Some(payload) = first_panic {
+                std::panic::resume_unwind(payload);
             }
         });
         out.into_iter().map(|v| v.expect("joined")).collect()
@@ -143,6 +250,9 @@ impl Universe {
 pub(crate) struct Mailbox {
     rx: Receiver<Envelope>,
     pending: RefCell<Vec<Envelope>>,
+    /// Set when a poison envelope arrives: the global rank that panicked.
+    /// Sticky — every subsequent receive fails fast with `PeerFailed`.
+    poisoned: Cell<Option<usize>>,
 }
 
 impl Mailbox {
@@ -150,6 +260,7 @@ impl Mailbox {
         Mailbox {
             rx,
             pending: RefCell::new(Vec::new()),
+            poisoned: Cell::new(None),
         }
     }
 }
@@ -171,6 +282,9 @@ pub struct Communicator {
     /// because collectives are called in the same order by all of them).
     pub(crate) coll_seq: Cell<u64>,
     stats: CommStats,
+    /// Fault-injection state, shared with every sub-communicator split off
+    /// after [`Communicator::install_faults`].
+    fault: Option<Rc<FaultCtx>>,
 }
 
 impl Communicator {
@@ -184,6 +298,7 @@ impl Communicator {
             timeout: Cell::new(default_timeout()),
             coll_seq: Cell::new(0),
             stats: CommStats::new(),
+            fault: FaultPlan::from_env().map(|p| Rc::new(FaultCtx::new(p))),
         }
     }
 
@@ -241,18 +356,191 @@ impl Communicator {
     pub(crate) fn send_raw(&self, dest: usize, tag: u32, data: Vec<f64>) -> CommResult<()> {
         self.check_rank(dest)?;
         let peer = self.members[dest];
-        let n = data.len();
-        let env = Envelope {
-            ctx: self.ctx,
-            src_global: self.members[self.rank],
-            tag,
-            data,
-        };
-        self.shared.senders[peer]
+        self.send_impl(peer, tag, data, 0)
+    }
+
+    /// Checksum-framed send: the payload travels with a
+    /// `[len, checksum_lo, checksum_hi]` trailer that [`Self::recv_framed`]
+    /// validates, turning silent in-flight corruption into a typed,
+    /// retryable [`CommError::CorruptPayload`].  Traffic stats count the
+    /// *logical* payload only, so framing does not perturb the certified
+    /// communication counts.
+    pub fn send_framed(&self, dest: usize, tag: u32, data: &[f64]) -> CommResult<()> {
+        assert!(
+            tag & COLLECTIVE_TAG_BIT == 0,
+            "user tags must leave the top bit clear"
+        );
+        self.check_rank(dest)?;
+        let peer = self.members[dest];
+        let ck = fault::checksum(data);
+        let mut framed = Vec::with_capacity(data.len() + FRAME_WORDS);
+        framed.extend_from_slice(data);
+        framed.push(data.len() as f64);
+        framed.push((ck & 0xFFFF_FFFF) as u32 as f64);
+        framed.push((ck >> 32) as u32 as f64);
+        self.send_impl(peer, tag, framed, FRAME_WORDS)
+    }
+
+    /// The shared send path: applies the fault plan (if any) and records
+    /// the logical (`data.len() - frame_words`) element count.
+    fn send_impl(
+        &self,
+        peer_global: usize,
+        tag: u32,
+        data: Vec<f64>,
+        frame_words: usize,
+    ) -> CommResult<()> {
+        let n = data.len() - frame_words;
+        let mut env = Envelope::new(self.ctx, self.members[self.rank], tag, data);
+        let mut dup = false;
+        match self.fault_tick(peer_global, tag) {
+            None => {}
+            Some(FaultAction::Drop) => env.drops = 1,
+            Some(FaultAction::Corrupt { bit, elem_seed }) => {
+                env.corrupt = 1;
+                env.corrupt_bit = bit;
+                env.corrupt_seed = elem_seed;
+            }
+            Some(FaultAction::Dup) => dup = true,
+            Some(FaultAction::Delay { events }) => {
+                // hold the message; it is released (possibly out of order)
+                // once this rank's event counter passes the release point,
+                // or at the latest when the last communicator drops
+                let ctx = self.fault.as_ref().expect("delay fired without plan");
+                let release = ctx.event.get() + events;
+                ctx.held.borrow_mut().push((release, peer_global, env));
+                self.stats.record_send(n);
+                return Ok(());
+            }
+            Some(FaultAction::Stall { ms }) => std::thread::sleep(Duration::from_millis(ms)),
+            Some(FaultAction::Crash) => panic!(
+                "injected fault: crash at world rank {} (tag {tag:#x})",
+                self.members[self.rank]
+            ),
+        }
+        let redundant = dup.then(|| {
+            let mut copy = env.clone();
+            copy.redundant = true;
+            copy
+        });
+        self.shared.senders[peer_global]
             .send(env)
-            .map_err(|_| CommError::PeerGone { peer })?;
+            .map_err(|_| CommError::PeerGone { peer: peer_global })?;
         self.stats.record_send(n);
+        if let Some(copy) = redundant {
+            // the duplicate is best-effort and never counted
+            let _ = self.shared.senders[peer_global].send(copy);
+        }
         Ok(())
+    }
+
+    /// Install a deterministic fault plan on this rank.  Shared with every
+    /// sub-communicator split off *afterwards*; install before splitting.
+    pub fn install_faults(&mut self, plan: FaultPlan) {
+        self.fault = Some(Rc::new(FaultCtx::new(plan)));
+    }
+
+    /// Every fault fired on this rank so far, in firing order.  Two runs
+    /// with the same plan and program produce identical logs — the
+    /// determinism contract chaos tests assert on.
+    pub fn fault_log(&self) -> Vec<FaultEvent> {
+        self.fault
+            .as_ref()
+            .map(|c| c.log.borrow().clone())
+            .unwrap_or_default()
+    }
+
+    /// Advance the per-rank fault clock by one **send**, release due
+    /// delayed messages, and decide whether a fault fires here.
+    ///
+    /// Only sends tick the clock: a receive may legitimately run more than
+    /// once (retry after an injected drop/corruption — or after a spurious
+    /// deadlock timeout on a loaded machine), so a clock that counted
+    /// receives would drift between otherwise identical runs and break the
+    /// byte-for-byte replay contract.  Sends are posted exactly once per
+    /// logical operation, timing cannot change their count.
+    fn fault_tick(&self, peer_global: usize, tag: u32) -> Option<FaultAction> {
+        let ctx = self.fault.as_ref()?;
+        let event = ctx.event.get();
+        ctx.event.set(event + 1);
+        self.flush_held(event + 1, false);
+        let site = FaultSite {
+            rank: self.members[self.rank],
+            peer: peer_global,
+            tag,
+            user_tag: tag & COLLECTIVE_TAG_BIT == 0,
+            event,
+            phase: obs::current_phase(),
+            is_send: true,
+        };
+        let action = {
+            let mut nth = ctx.nth.borrow_mut();
+            ctx.plan.decide(&site, &mut nth)?
+        };
+        let kind = match action {
+            FaultAction::Drop => FaultKind::Drop,
+            FaultAction::Corrupt { .. } => FaultKind::Corrupt,
+            FaultAction::Dup => FaultKind::Dup,
+            FaultAction::Delay { .. } => FaultKind::Delay,
+            FaultAction::Stall { .. } => FaultKind::Stall,
+            FaultAction::Crash => FaultKind::Crash,
+        };
+        self.stats.record_fault(kind);
+        let name = fault_metric_name(kind);
+        obs::Registry::global().counter(name).inc();
+        if obs::enabled() {
+            obs::record_value(name, event as f64);
+        }
+        ctx.log.borrow_mut().push(FaultEvent {
+            kind,
+            rank: site.rank,
+            peer: peer_global,
+            tag,
+            event,
+        });
+        Some(action)
+    }
+
+    /// Send delayed messages whose release point has passed (`all`: every
+    /// held message, used at teardown).
+    fn flush_held(&self, now: u64, all: bool) {
+        let Some(ctx) = self.fault.as_ref() else {
+            return;
+        };
+        let mut held = ctx.held.borrow_mut();
+        let mut i = 0;
+        while i < held.len() {
+            if all || held[i].0 <= now {
+                let (_, peer, env) = held.swap_remove(i);
+                let _ = self.shared.senders[peer].send(env);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Notify every peer that this rank is dying (poison envelopes make
+    /// their receives fail fast with [`CommError::PeerFailed`]).
+    fn poison_peers(&self) {
+        let me = self.members[self.rank];
+        for (g, tx) in self.shared.senders.iter().enumerate() {
+            if g != me {
+                let _ = tx.send(Envelope::poison(me));
+            }
+        }
+    }
+
+    /// Per-rank operation count for error context: the (send-only) fault
+    /// clock when a plan is installed, otherwise the total p2p operations
+    /// from the stats.
+    fn events_so_far(&self) -> u64 {
+        match &self.fault {
+            Some(ctx) => ctx.event.get(),
+            None => {
+                let s = self.stats.snapshot();
+                s.p2p_sends + s.p2p_recvs
+            }
+        }
     }
 
     /// Blocking receive of the message from local rank `src` with `tag`.
@@ -265,8 +553,82 @@ impl Communicator {
     }
 
     pub(crate) fn recv_raw(&self, src: usize, tag: u32) -> CommResult<Vec<f64>> {
+        self.recv_inner(src, tag, 0)
+    }
+
+    /// Checksum-validated receive of a [`Self::send_framed`] message
+    /// carrying `expected` logical elements.  A corrupted or truncated
+    /// frame returns [`CommError::CorruptPayload`]; because the runtime
+    /// keeps the clean payload for injected corruption, a retry of the same
+    /// receive can succeed (see [`crate::fault`]).
+    pub fn recv_framed(&self, src: usize, tag: u32, expected: usize) -> CommResult<Vec<f64>> {
+        assert!(
+            tag & COLLECTIVE_TAG_BIT == 0,
+            "user tags must leave the top bit clear"
+        );
+        let mut data = self.recv_inner(src, tag, FRAME_WORDS)?;
+        if data.len() < FRAME_WORDS {
+            return Err(CommError::CorruptPayload {
+                src,
+                tag,
+                detail: format!("framed message of {} words has no trailer", data.len()),
+            });
+        }
+        if data.len() != expected + FRAME_WORDS {
+            return Err(CommError::SizeMismatch {
+                expected,
+                got: data.len() - FRAME_WORDS,
+                src,
+                tag,
+            });
+        }
+        let trailer = data.split_off(data.len() - FRAME_WORDS);
+        if trailer[0] != data.len() as f64 {
+            return Err(CommError::CorruptPayload {
+                src,
+                tag,
+                detail: format!(
+                    "length word {} != payload length {}",
+                    trailer[0],
+                    data.len()
+                ),
+            });
+        }
+        // the trailer words are u32 values; `as` saturates on corrupted
+        // garbage (NaN, negatives), which just fails the comparison below
+        let stored = (trailer[1] as u32 as u64) | ((trailer[2] as u32 as u64) << 32);
+        let computed = fault::checksum(&data);
+        if stored != computed {
+            return Err(CommError::CorruptPayload {
+                src,
+                tag,
+                detail: format!("checksum {computed:#018x} != framed {stored:#018x}"),
+            });
+        }
+        Ok(data)
+    }
+
+    /// The shared receive path.  Fails fast on poisoned mailboxes, honours
+    /// injected drop/corrupt riders on matching envelopes, and records the
+    /// logical (`len - frame_words`) element count.  Receives do **not**
+    /// tick the fault clock (see [`Self::fault_tick`]): retried receives
+    /// would make the clock timing-dependent.  They do release every held
+    /// (delayed) message first — this rank is about to block, and a message
+    /// held past the end of its send batch would deadlock the peer; the
+    /// flush point is fixed by program order, so replay stays exact.
+    fn recv_inner(&self, src: usize, tag: u32, frame_words: usize) -> CommResult<Vec<f64>> {
         self.check_rank(src)?;
+        self.flush_held(0, true);
         let want_src = self.members[src];
+        if let Some(peer) = self.mailbox.poisoned.get() {
+            return Err(CommError::PeerFailed { peer });
+        }
+        let record = |env: &Envelope| {
+            if !env.redundant {
+                self.stats
+                    .record_recv(env.data.len() - frame_words.min(env.data.len()));
+            }
+        };
         // 1. check the unexpected-message queue
         {
             let mut pending = self.mailbox.pending.borrow_mut();
@@ -274,9 +636,25 @@ impl Communicator {
                 .iter()
                 .position(|e| e.ctx == self.ctx && e.src_global == want_src && e.tag == tag)
             {
-                let env = pending.swap_remove(pos);
-                self.stats.record_recv(env.data.len());
-                return Ok(env.data);
+                if pending[pos].drops > 0 {
+                    // injected loss of this delivery; the payload stays
+                    // queued so a later retry can still succeed.  Fail fast
+                    // instead of sleeping out the timeout: recovery must
+                    // cost one retry, not one deadlock-detection window —
+                    // otherwise every rank waiting on this one races its
+                    // own identical timeout while we sleep
+                    pending[pos].drops -= 1;
+                    return self.timeout_err(src, tag);
+                } else if pending[pos].corrupt > 0 {
+                    pending[pos].corrupt -= 1;
+                    let env = &pending[pos];
+                    record(env);
+                    return Ok(env.corrupted_copy());
+                } else {
+                    let env = pending.swap_remove(pos);
+                    record(&env);
+                    return Ok(env.data);
+                }
             }
         }
         // 2. drain the channel until the match arrives
@@ -285,34 +663,56 @@ impl Communicator {
         loop {
             let remaining = deadline.saturating_duration_since(Instant::now());
             if remaining.is_zero() {
-                return Err(CommError::DeadlockTimeout {
-                    rank: self.rank,
-                    src,
-                    tag,
-                    waited: self.timeout.get(),
-                });
+                return self.timeout_err(src, tag);
             }
             match self.mailbox.rx.recv_timeout(remaining) {
                 Ok(env) => {
+                    if env.ctx == POISON_CTX {
+                        self.mailbox.poisoned.set(Some(env.src_global));
+                        return Err(CommError::PeerFailed {
+                            peer: env.src_global,
+                        });
+                    }
                     if env.ctx == self.ctx && env.src_global == want_src && env.tag == tag {
+                        let mut env = env;
+                        if env.drops > 0 {
+                            // injected loss: queue the payload for a retry
+                            // and fail fast (see the pending-queue branch)
+                            env.drops -= 1;
+                            self.mailbox.pending.borrow_mut().push(env);
+                            return self.timeout_err(src, tag);
+                        }
+                        if env.corrupt > 0 {
+                            env.corrupt -= 1;
+                            record(&env);
+                            let data = env.corrupted_copy();
+                            self.mailbox.pending.borrow_mut().push(env);
+                            return Ok(data);
+                        }
                         if obs::enabled() {
                             recv_wait_hist().record(entered.elapsed().as_nanos() as u64);
                         }
-                        self.stats.record_recv(env.data.len());
+                        record(&env);
                         return Ok(env.data);
                     }
                     self.mailbox.pending.borrow_mut().push(env);
                 }
                 Err(_) => {
-                    return Err(CommError::DeadlockTimeout {
-                        rank: self.rank,
-                        src,
-                        tag,
-                        waited: self.timeout.get(),
-                    });
+                    return self.timeout_err(src, tag);
                 }
             }
         }
+    }
+
+    fn timeout_err(&self, src: usize, tag: u32) -> CommResult<Vec<f64>> {
+        Err(CommError::DeadlockTimeout {
+            rank: self.rank,
+            src,
+            tag,
+            waited: self.timeout.get(),
+            phase: obs::current_phase(),
+            events_so_far: self.events_so_far(),
+        })
     }
 
     /// Receive into a preallocated buffer; errors if the message length
@@ -323,10 +723,39 @@ impl Communicator {
             return Err(CommError::SizeMismatch {
                 expected: buf.len(),
                 got: data.len(),
+                src,
+                tag,
             });
         }
         buf.copy_from_slice(&data);
         Ok(())
+    }
+
+    /// Drop every queued message that does not belong to this communicator's
+    /// context (rollback hygiene: stale messages from an aborted step
+    /// attempt must not survive into the re-run).  Messages for any of the
+    /// `keep` communicators survive — the resilient runner passes its
+    /// control communicator here so an in-flight control barrier can never
+    /// be purged on the receiving side.  Poison envelopes still take
+    /// effect.
+    pub fn purge_other_contexts(&self, keep: &[&Communicator]) {
+        let mut pending = self.mailbox.pending.borrow_mut();
+        while let Ok(env) = self.mailbox.rx.try_recv() {
+            if env.ctx == POISON_CTX {
+                self.mailbox.poisoned.set(Some(env.src_global));
+                continue;
+            }
+            pending.push(env);
+        }
+        pending.retain(|e| e.ctx == self.ctx || keep.iter().any(|c| c.ctx == e.ctx));
+    }
+
+    /// Jump the collective sequence to an epoch-derived base (must be
+    /// called collectively with the same `epoch` on every rank).  After a
+    /// rollback this guarantees post-recovery collective tags can never
+    /// cross-match stragglers from the aborted attempt.
+    pub fn resync_collectives(&self, epoch: u64) {
+        self.coll_seq.set(epoch << 10);
     }
 
     /// Blocking send-and-receive with (possibly different) partners, safe
@@ -398,6 +827,7 @@ impl Communicator {
             timeout: Cell::new(self.timeout.get()),
             coll_seq: Cell::new(0),
             stats: self.stats.clone(),
+            fault: self.fault.clone(),
         })
     }
 
@@ -412,6 +842,18 @@ impl Communicator {
     /// Advance the collective sequence number; call once per collective.
     pub(crate) fn bump_coll_seq(&self) {
         self.coll_seq.set(self.coll_seq.get() + 1);
+    }
+}
+
+impl Drop for Communicator {
+    fn drop(&mut self) {
+        if let Some(ctx) = &self.fault {
+            if Rc::strong_count(ctx) == 1 {
+                // last communicator of this rank: flush every still-held
+                // delayed message so injected delays cannot strand payloads
+                self.flush_held(u64::MAX, true);
+            }
+        }
     }
 }
 
@@ -506,7 +948,9 @@ mod tests {
             results[1],
             Some(CommError::SizeMismatch {
                 expected: 2,
-                got: 3
+                got: 3,
+                src: 0,
+                tag: 1
             })
         );
     }

@@ -58,6 +58,16 @@ struct Inner {
     p2p_recv_elems: AtomicU64,
     collective_calls: AtomicU64,
     collective_elems: AtomicU64,
+    // Injected-fault counters (see crate::fault).  Kept out of
+    // StatsSnapshot: that struct is the certified-traffic contract the
+    // verifier constructs literally; faults get their own snapshot type.
+    faults_dropped: AtomicU64,
+    faults_corrupted: AtomicU64,
+    faults_duplicated: AtomicU64,
+    faults_delayed: AtomicU64,
+    faults_stalled: AtomicU64,
+    faults_crashed: AtomicU64,
+    retries: AtomicU64,
     // The per-event log is opt-in: the unconditional push-under-mutex it
     // used to do both grew without bound in long runs and serialized every
     // rank's collectives on one lock.  Counters above stay always-on.
@@ -132,6 +142,39 @@ impl CommStats {
         }
     }
 
+    /// Record an injected fault of `kind` (bumps the matching counter and
+    /// the process-wide `comm.fault.<kind>` obs counter).
+    pub fn record_fault(&self, kind: crate::fault::FaultKind) {
+        use crate::fault::FaultKind::*;
+        let ctr = match kind {
+            Drop => &self.inner.faults_dropped,
+            Corrupt => &self.inner.faults_corrupted,
+            Dup => &self.inner.faults_duplicated,
+            Delay => &self.inner.faults_delayed,
+            Stall => &self.inner.faults_stalled,
+            Crash => &self.inner.faults_crashed,
+        };
+        ctr.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one receive retry attempt (resilience layer bookkeeping).
+    pub fn record_retry(&self) {
+        self.inner.retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Current injected-fault totals.
+    pub fn fault_snapshot(&self) -> FaultSnapshot {
+        FaultSnapshot {
+            dropped: self.inner.faults_dropped.load(Ordering::Relaxed),
+            corrupted: self.inner.faults_corrupted.load(Ordering::Relaxed),
+            duplicated: self.inner.faults_duplicated.load(Ordering::Relaxed),
+            delayed: self.inner.faults_delayed.load(Ordering::Relaxed),
+            stalled: self.inner.faults_stalled.load(Ordering::Relaxed),
+            crashed: self.inner.faults_crashed.load(Ordering::Relaxed),
+            retries: self.inner.retries.load(Ordering::Relaxed),
+        }
+    }
+
     /// Current totals.
     pub fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
@@ -152,6 +195,34 @@ impl CommStats {
     /// Number of collective events of a given kind.
     pub fn count_collectives(&self, kind: CollectiveKind) -> usize {
         self.events().iter().filter(|e| e.kind == kind).count()
+    }
+}
+
+/// A point-in-time copy of the injected-fault counters (separate from
+/// [`StatsSnapshot`], which only carries certified traffic).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultSnapshot {
+    /// Messages whose first delivery was dropped.
+    pub dropped: u64,
+    /// Messages whose first delivery was bit-corrupted.
+    pub corrupted: u64,
+    /// Messages delivered twice.
+    pub duplicated: u64,
+    /// Messages held back for reordering.
+    pub delayed: u64,
+    /// Rank stalls injected.
+    pub stalled: u64,
+    /// Rank crashes injected.
+    pub crashed: u64,
+    /// Receive retry attempts performed by the resilience layer.
+    pub retries: u64,
+}
+
+impl FaultSnapshot {
+    /// Total injected message/process faults (retries are reactions, not
+    /// faults, and are excluded).
+    pub fn total(&self) -> u64 {
+        self.dropped + self.corrupted + self.duplicated + self.delayed + self.stalled + self.crashed
     }
 }
 
@@ -279,6 +350,27 @@ mod tests {
         assert!(s.event_logging());
         s.record_collective(CollectiveKind::Bcast, 4, 1);
         assert_eq!(t.collective_events().len(), 1);
+    }
+
+    #[test]
+    fn fault_counters_accumulate() {
+        use crate::fault::FaultKind;
+        let s = CommStats::new();
+        s.record_fault(FaultKind::Drop);
+        s.record_fault(FaultKind::Drop);
+        s.record_fault(FaultKind::Corrupt);
+        s.record_fault(FaultKind::Stall);
+        s.record_retry();
+        let f = s.fault_snapshot();
+        assert_eq!(f.dropped, 2);
+        assert_eq!(f.corrupted, 1);
+        assert_eq!(f.stalled, 1);
+        assert_eq!(f.retries, 1);
+        assert_eq!(f.total(), 4);
+        // fault counters are shared across clones like the traffic ones
+        let t = s.clone();
+        t.record_fault(FaultKind::Crash);
+        assert_eq!(s.fault_snapshot().crashed, 1);
     }
 
     #[test]

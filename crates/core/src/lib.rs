@@ -21,6 +21,7 @@ pub mod forcing;
 pub mod geometry;
 pub mod init;
 pub mod par;
+pub mod resilience;
 pub mod serial;
 pub mod smoothing;
 pub mod state;
@@ -30,4 +31,8 @@ pub mod vertical;
 
 pub use config::ModelConfig;
 pub use geometry::{LocalGeometry, Region};
+pub use resilience::{
+    read_checkpoint, write_checkpoint, Checkpoint, CheckpointRing, ResilienceConfig,
+    ResilienceError, Resilient, ResilientRunner, RunReport,
+};
 pub use state::State;

@@ -127,6 +127,54 @@ impl Alg1Model {
         self.exchanger.exchanges
     }
 
+    /// Degraded mode is a no-op for Algorithm 1: its schedule is already
+    /// the conservative one (blocking exchanges, exact `C` every sweep).
+    pub fn set_degraded(&mut self, _on: bool) {}
+
+    /// Enable checksum-framed halo payloads with validated, retrying
+    /// receives.
+    pub fn set_framed(&mut self, on: bool) {
+        self.exchanger.set_framed(on);
+    }
+
+    /// Change the framed-receive retry policy.
+    pub fn set_retry(&mut self, retry: crate::par::exchange::RetryPolicy) {
+        self.exchanger.set_retry(retry);
+    }
+
+    /// Re-align communication sequence numbers after a rollback (collective
+    /// with the same `epoch` on every rank).
+    pub fn resync(&mut self, epoch: u64) {
+        self.exchanger.resync(epoch);
+        if let Some(z) = &self.zcomm {
+            z.resync_collectives(epoch);
+        }
+        if let Some(x) = &self.xcomm {
+            x.resync_collectives(epoch);
+        }
+    }
+
+    /// Snapshot the restart state.  Algorithm 1 recomputes `C` exactly in
+    /// every sweep, so the prognostic state alone restores it bit-for-bit.
+    pub fn capture(&self) -> crate::resilience::Checkpoint {
+        crate::resilience::Checkpoint {
+            step: self.steps as u64,
+            state: self.state.clone(),
+            vsum: None,
+            gw: None,
+            phi_p: None,
+            c_cached: false,
+            pending_smooth: false,
+        }
+    }
+
+    /// Restore a [`Self::capture`]d snapshot bit-for-bit.
+    pub fn restore(&mut self, ck: &crate::resilience::Checkpoint) {
+        self.steps = ck.step as usize;
+        self.state.clone_from(&ck.state);
+        self.engine.c_cached = false;
+    }
+
     /// Advance one time step.
     pub fn step(&mut self, comm: &Communicator) -> CommResult<()> {
         obs::set_step(self.steps as u64);
@@ -382,6 +430,15 @@ impl GlobalState {
             .max(d(&self.v, &other.v))
             .max(d(&self.phi, &other.phi))
             .max(d(&self.psa, &other.psa))
+    }
+
+    /// Largest absolute value over all components.
+    pub fn max_abs(&self) -> f64 {
+        let m = |a: &[f64]| a.iter().fold(0.0f64, |acc, x| acc.max(x.abs()));
+        m(&self.u)
+            .max(m(&self.v))
+            .max(m(&self.phi))
+            .max(m(&self.psa))
     }
 }
 

@@ -53,6 +53,9 @@ pub struct CaModel {
     pub fused_smoothing: bool,
     /// Advection sweeps per exchange.
     pub group_adv: usize,
+    /// Degraded (post-rollback) mode: blocking instead of overlapped split
+    /// exchanges, and exact `C(ψ^{i-1})` instead of the Eq. 13 reuse.
+    pub degraded: bool,
     exchanger: HaloExchanger,
     zcomm: Option<Communicator>,
     deep: HaloWidths,
@@ -137,6 +140,7 @@ impl CaModel {
             group: g,
             fused_smoothing: fuse,
             group_adv: ga,
+            degraded: false,
             exchanger,
             zcomm,
             deep,
@@ -157,6 +161,67 @@ impl CaModel {
     /// Local geometry.
     pub fn geom(&self) -> &LocalGeometry {
         &self.engine.geom
+    }
+
+    /// Enter/leave degraded mode (rollback recovery): exchanges become
+    /// blocking (no compute inside the communication window) and every
+    /// adaptation sub-update recomputes `C` exactly instead of reusing the
+    /// cached outputs — the most conservative schedule the model has.
+    pub fn set_degraded(&mut self, on: bool) {
+        self.degraded = on;
+    }
+
+    /// Enable checksum-framed halo payloads with validated, retrying
+    /// receives (see [`crate::par::exchange::RetryPolicy`]).
+    pub fn set_framed(&mut self, on: bool) {
+        self.exchanger.set_framed(on);
+    }
+
+    /// Change the framed-receive retry policy.
+    pub fn set_retry(&mut self, retry: crate::par::exchange::RetryPolicy) {
+        self.exchanger.set_retry(retry);
+    }
+
+    /// Re-align communication sequence numbers after a rollback (must be
+    /// called collectively with the same `epoch`): halo-exchange tags and
+    /// the z-communicator's collective tags jump to an epoch-derived base
+    /// so the re-run can never match stragglers of the aborted attempt.
+    pub fn resync(&mut self, epoch: u64) {
+        self.exchanger.resync(epoch);
+        if let Some(z) = &self.zcomm {
+            z.resync_collectives(epoch);
+        }
+    }
+
+    /// Snapshot everything a bitwise restart needs: the prognostic state,
+    /// the cached `C` outputs (`vsum`, `g_w`, `φ'` — Algorithm 2 reuses
+    /// them across steps, Eq. 13), and the step-loop flags.
+    pub fn capture(&self) -> crate::resilience::Checkpoint {
+        crate::resilience::Checkpoint {
+            step: self.steps as u64,
+            state: self.state.clone(),
+            vsum: Some(self.engine.diag.vsum.clone()),
+            gw: Some(self.engine.diag.gw.clone()),
+            phi_p: Some(self.engine.diag.phi_p.clone()),
+            c_cached: self.engine.c_cached,
+            pending_smooth: self.pending_smooth,
+        }
+    }
+
+    /// Restore a [`Self::capture`]d snapshot bit-for-bit.
+    pub fn restore(&mut self, ck: &crate::resilience::Checkpoint) {
+        self.steps = ck.step as usize;
+        self.state.clone_from(&ck.state);
+        if let (Some(vsum), Some(gw), Some(phi_p)) = (&ck.vsum, &ck.gw, &ck.phi_p) {
+            self.engine.diag.vsum.clone_from(vsum);
+            self.engine.diag.gw.clone_from(gw);
+            self.engine.diag.phi_p.clone_from(phi_p);
+            self.engine.c_cached = ck.c_cached;
+        } else {
+            // no cached-C arrays in the checkpoint: recompute on first use
+            self.engine.c_cached = false;
+        }
+        self.pending_smooth = ck.pending_smooth;
     }
 
     /// Completed halo exchanges (all steps).
@@ -205,7 +270,7 @@ impl CaModel {
             z0: 0,
             z1: nz as isize,
         };
-        if self.pending_smooth && self.fused_smoothing {
+        if self.pending_smooth && self.fused_smoothing && !self.degraded {
             // this is the compute the deep exchange hides (§4.3.1/§4.3.2)
             let _ov = obs::span(obs::SpanKind::OverlapCompute, "overlap.smooth_former");
             let _s1 = obs::span_phase(obs::SpanKind::Op, obs::Phase::S1, "smooth.former");
@@ -228,6 +293,19 @@ impl CaModel {
                 ExField::F3(&mut self.engine.diag.phi_p),
             ];
             self.exchanger.finish_recvs(comm, pending, &mut fields)?;
+        }
+        if self.pending_smooth && self.fused_smoothing && self.degraded {
+            // blocking mode: the same D1 smoothing, run outside the (now
+            // closed) exchange window — it reads no halo data, so the
+            // result is bitwise the one the overlapped schedule produces
+            let _s1 = obs::span_phase(obs::SpanKind::Op, obs::Phase::S1, "smooth.former");
+            smooth_full(
+                &self.engine.geom,
+                self.engine.cfg.smooth_beta,
+                &self.state,
+                &mut self.psi0,
+                d1,
+            );
         }
         self.engine.fill(&mut self.state);
         self.engine.diag.gw.wrap_x_halo();
@@ -325,7 +403,9 @@ impl CaModel {
                 valid = g;
             }
             let base = self.psi.clone();
-            let fresh1 = !self.engine.c_cached;
+            // degraded mode disables the Eq. 13 reuse: every sub-update
+            // recomputes C(ψ^{i-1}) exactly
+            let fresh1 = !self.engine.c_cached || self.degraded;
             // sub-update 1 (cached C)
             let region1 = dil(valid as isize - 1);
             {
@@ -439,7 +519,7 @@ impl CaModel {
         let dila = |d: isize| interior.dilate(d, d, ny, nz, self.shallow, grow);
         let outer1 = dila(ga as isize - 1);
         let inner1 = interior.shrink(1, 1);
-        {
+        if !self.degraded {
             // inner-region sweep deliberately placed inside the exchange
             // window (§4.3.1)
             let _ov = obs::span(obs::SpanKind::OverlapCompute, "overlap.advection_inner");
@@ -465,6 +545,19 @@ impl CaModel {
         }
         self.engine.diag.gw.wrap_x_halo();
         base = self.psi.clone();
+        if self.degraded {
+            // blocking mode: the inner sweep runs after the exchange closes
+            // (no compute inside the communication window)
+            self.engine.advection_subupdate(
+                &base,
+                &mut self.psi,
+                &mut self.eta1,
+                &mut self.tend,
+                inner1,
+                dt2,
+                &FilterCtx::Local,
+            )?;
+        }
         for strip in frame(&outer1, &inner1) {
             self.engine.advection_subupdate(
                 &base,

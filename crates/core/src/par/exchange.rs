@@ -15,6 +15,28 @@ use crate::geometry::LocalGeometry;
 use agcm_comm::{CommResult, Communicator};
 use agcm_mesh::{Decomposition, ExchangePlan, Field2, Field3, HaloWidths};
 use agcm_obs as obs;
+use std::time::Duration;
+
+/// Bounded retry-with-backoff for transient receive failures (injected
+/// drops surface as timeouts, injected corruption as `CorruptPayload`;
+/// both leave the clean payload in the mailbox, so a retry of the same
+/// receive can succeed — see `agcm_comm::fault`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts (first try included).  1 = no retries.
+    pub max_attempts: u32,
+    /// Sleep before attempt `n` is `backoff * n` (linear backoff).
+    pub backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            backoff: Duration::from_millis(1),
+        }
+    }
+}
 
 /// A field participating in an exchange.
 pub enum ExField<'a> {
@@ -40,6 +62,10 @@ pub struct HaloExchanger {
     seq: u64,
     /// Communications completed (the paper's per-step frequency metric).
     pub exchanges: u64,
+    /// Checksum-framed payloads + receive-side validation and retry
+    /// (resilient mode; off by default so certified traffic is unchanged).
+    framed: bool,
+    retry: RetryPolicy,
 }
 
 /// Direction-of-travel index for a neighbour offset, `0..27`.  Both sides of
@@ -67,7 +93,33 @@ impl HaloExchanger {
             rank,
             seq: 0,
             exchanges: 0,
+            framed: false,
+            retry: RetryPolicy::default(),
         }
+    }
+
+    /// Enable/disable checksum framing + receive validation and retry.
+    pub fn set_framed(&mut self, on: bool) {
+        self.framed = on;
+    }
+
+    /// Whether halo payloads are checksum-framed.
+    pub fn framed(&self) -> bool {
+        self.framed
+    }
+
+    /// Change the retry policy used by framed receives.
+    pub fn set_retry(&mut self, retry: RetryPolicy) {
+        self.retry = retry;
+    }
+
+    /// Jump the exchange sequence to an epoch-derived base (rollback
+    /// recovery: tags of the re-run must not collide with stragglers of the
+    /// aborted attempt; all ranks must resync with the same `epoch`).
+    pub fn resync(&mut self, epoch: u64) {
+        // 4096 exchanges per epoch, far above any rollback window; the
+        // 20-bit seq field of `wire_tag` wraps after 256 epochs
+        self.seq = epoch << 12;
     }
 
     fn plan_for(&self, depth: HaloWidths, extents: (usize, usize, usize)) -> ExchangePlan {
@@ -120,7 +172,11 @@ impl HaloExchanger {
                 }
                 let t = wire_tag(seq, dir_index(spec.link.offset), fi);
                 span.add_bytes(8 * buf.len() as u64);
-                comm.send(spec.link.rank, t, &buf)?;
+                if self.framed {
+                    comm.send_framed(spec.link.rank, t, &buf)?;
+                } else {
+                    comm.send(spec.link.rank, t, &buf)?;
+                }
             }
         }
         Ok(Pending { seq, depth })
@@ -148,7 +204,15 @@ impl HaloExchanger {
                 // the sender's direction is the negation of our offset
                 let (dx, dy, dz) = spec.link.offset;
                 let t = wire_tag(pending.seq, dir_index((-dx, -dy, -dz)), fi);
-                let data = comm.recv(spec.link.rank, t)?;
+                let data = if self.framed {
+                    let len = |r: &std::ops::Range<isize>| (r.end - r.start).max(0) as usize;
+                    let expected = len(&spec.recv.x)
+                        * len(&spec.recv.y)
+                        * if is2d { 1 } else { len(&spec.recv.z) };
+                    self.recv_validated(comm, spec.link.rank, t, expected)?
+                } else {
+                    comm.recv(spec.link.rank, t)?
+                };
                 span.add_bytes(8 * data.len() as u64);
                 match f {
                     ExField::F3(f3) => {
@@ -169,6 +233,35 @@ impl HaloExchanger {
         }
         self.exchanges += 1;
         Ok(())
+    }
+
+    /// Checksum-validated receive with bounded retry: a transient failure
+    /// (timeout from an injected drop, rejected corrupt frame) is retried
+    /// up to the policy's budget with linear backoff, because the runtime
+    /// keeps the clean payload queued.  Non-transient errors and exhausted
+    /// budgets propagate to the caller (the rollback driver).
+    fn recv_validated(
+        &self,
+        comm: &Communicator,
+        src: usize,
+        tag: u32,
+        expected: usize,
+    ) -> CommResult<Vec<f64>> {
+        let mut attempt = 1;
+        loop {
+            match comm.recv_framed(src, tag, expected) {
+                Ok(data) => return Ok(data),
+                Err(e) if e.is_transient() && attempt < self.retry.max_attempts => {
+                    comm.stats().record_retry();
+                    obs::Registry::global().counter("comm.recv_retries").inc();
+                    if !self.retry.backoff.is_zero() {
+                        std::thread::sleep(self.retry.backoff * attempt);
+                    }
+                    attempt += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
     }
 
     /// Post + finish in one call (no overlap).
@@ -379,6 +472,95 @@ mod tests {
             overlap_work > 0.0
         });
         assert!(results.into_iter().all(|b| b));
+    }
+
+    #[test]
+    fn framed_exchange_is_bitwise_identical_and_counts_match() {
+        // the resilient (framed) exchange must move exactly the same data
+        // and record exactly the same certified traffic as the plain one
+        let run = |framed: bool| {
+            Universe::run(4, move |comm| {
+                let d = decomp(2, 2);
+                let sub = d.subdomain(comm.rank());
+                let (nx, ny, nz) = sub.extents();
+                let h = HaloWidths::uniform(2);
+                let mut f = Field3::new(nx, ny, nz, h);
+                for k in 0..nz as isize {
+                    for j in 0..ny as isize {
+                        for i in 0..nx as isize {
+                            let gj = sub.y.start as i64 + j as i64;
+                            let gk = sub.z.start as i64 + k as i64;
+                            f.set(i, j, k, val(0, i, gj, gk));
+                        }
+                    }
+                }
+                let mut ex = HaloExchanger::new(d, comm.rank());
+                ex.set_framed(framed);
+                let mut fields = [ExField::F3(&mut f)];
+                ex.exchange(comm, h, &mut fields).unwrap();
+                (f.raw().to_vec(), comm.stats().snapshot())
+            })
+        };
+        let plain = run(false);
+        let resilient = run(true);
+        for (p, r) in plain.iter().zip(&resilient) {
+            assert_eq!(p.0, r.0, "framed exchange changed the data");
+            assert_eq!(
+                p.1, r.1,
+                "framing must not perturb certified traffic counts"
+            );
+        }
+    }
+
+    #[test]
+    fn framed_recv_retries_through_injected_drop_and_corruption() {
+        use agcm_comm::FaultPlan;
+        let results = Universe::run(2, |comm| {
+            comm.install_faults(
+                FaultPlan::parse(77, "drop:rank=0,user=1,nth=1;corrupt:rank=1,user=1,nth=1")
+                    .unwrap(),
+            );
+            comm.set_timeout(std::time::Duration::from_millis(300));
+            let d = decomp(2, 1);
+            let sub = d.subdomain(comm.rank());
+            let (nx, ny, nz) = sub.extents();
+            let h = HaloWidths {
+                xm: 0,
+                xp: 0,
+                ym: 2,
+                yp: 2,
+                zm: 0,
+                zp: 0,
+            };
+            let mut f = Field3::new(nx, ny, nz, h);
+            f.fill(comm.rank() as f64 + 1.0);
+            let mut ex = HaloExchanger::new(d, comm.rank());
+            ex.set_framed(true);
+            let mut fields = [ExField::F3(&mut f)];
+            ex.exchange(comm, h, &mut fields).unwrap();
+            let got = if comm.rank() == 0 {
+                f.get(0, ny as isize, 0)
+            } else {
+                f.get(0, -1, 0)
+            };
+            (got, comm.stats().fault_snapshot())
+        });
+        // both faults fired and the exchange still delivered clean halos
+        assert_eq!(results[0].0, 2.0);
+        assert_eq!(results[1].0, 1.0);
+        assert_eq!(results[0].1.dropped, 1);
+        assert_eq!(results[1].1.corrupted, 1);
+        let retries: u64 = results.iter().map(|r| r.1.retries).sum();
+        assert!(retries >= 2, "both faults need retries, saw {retries}");
+    }
+
+    #[test]
+    fn resync_jumps_sequence() {
+        let d = decomp(2, 2);
+        let mut ex = HaloExchanger::new(d, 0);
+        assert_eq!(ex.seq, 0);
+        ex.resync(3);
+        assert_eq!(ex.seq, 3 << 12);
     }
 
     #[test]

@@ -9,5 +9,5 @@ pub mod schedule;
 
 pub use alg1::{gather_state_impl, Alg1Model, GlobalState};
 pub use alg2::{gather_ca_state, CaModel};
-pub use exchange::{dir_index, state_fields, wire_tag, ExField, HaloExchanger};
+pub use exchange::{dir_index, state_fields, wire_tag, ExField, HaloExchanger, RetryPolicy};
 pub use schedule::{ExchangeOp, FieldShape, StepOp};

@@ -1,0 +1,864 @@
+//! Checkpoint/rollback resilience for the CA dynamical core.
+//!
+//! The communication layer (`agcm-comm`) can *detect* trouble — corrupt
+//! payloads behind the checksum framing, receive timeouts, failed peers —
+//! and the exchanger retries what is transient.  This module supplies the
+//! *recovery* half:
+//!
+//! * [`Checkpoint`] — everything a bitwise restart of a model needs: the
+//!   prognostic state, the cached `C` outputs that Eq. 13 reuses across
+//!   steps, and the step-loop flags,
+//! * [`CheckpointRing`] — a bounded in-memory ring of recent checkpoints,
+//! * [`write_checkpoint`]/[`read_checkpoint`] — a versioned binary on-disk
+//!   format for restart files,
+//! * [`Resilient`] — the uniform capture/restore/degrade surface the
+//!   serial, Algorithm 1 and Algorithm 2 models all implement,
+//! * [`ResilientRunner`] — the step loop with a blow-up guard: every step
+//!   ends in one small control-plane `allreduce(Max)` that agrees on
+//!   health; on failure all ranks roll back to the last checkpoint in
+//!   lockstep and re-run the window in degraded mode (blocking exchanges,
+//!   exact `C(ψ^{i-1})`) before giving up with a typed
+//!   [`ResilienceError`].
+//!
+//! The control plane runs on a **dedicated split communicator** so its
+//! collective sequence numbers stay in lockstep no matter how many model
+//! collectives the aborted attempt did or did not reach.
+
+use crate::par::{Alg1Model, CaModel};
+use crate::serial::SerialModel;
+use crate::state::State;
+use agcm_comm::{AllreduceAlgo, CommError, CommResult, Communicator, ReduceOp};
+use agcm_mesh::{Field2, Field3, HaloWidths};
+use std::collections::VecDeque;
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+
+/// Magic + version tag of the on-disk checkpoint format.
+pub const CHECKPOINT_MAGIC: &[u8; 8] = b"AGCMCKP1";
+
+// ---------------------------------------------------------------------------
+// Checkpoint
+// ---------------------------------------------------------------------------
+
+/// A restartable snapshot of one rank's model.
+///
+/// The cached-`C` trio (`vsum`, `gw`, `phi_p`) is `Some` for models that
+/// reuse `C` outputs across steps (Eq. 13: the serial approximate variant
+/// and Algorithm 2); Algorithm 1 recomputes `C` every sweep and stores
+/// `None`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint {
+    /// Completed steps at capture time.
+    pub step: u64,
+    /// The prognostic state (full arrays, halos included).
+    pub state: State,
+    /// Cached vertical sums `Σ` from the last `C` execution.
+    pub vsum: Option<Field2>,
+    /// Cached `g_w` from the last `C` execution.
+    pub gw: Option<Field3>,
+    /// Cached `φ'` from the last `C` execution.
+    pub phi_p: Option<Field3>,
+    /// Whether the cached trio is valid (Eq. 13 may reuse it).
+    pub c_cached: bool,
+    /// Whether `state` still awaits its fused smoothing (Algorithm 2).
+    pub pending_smooth: bool,
+}
+
+// ---------------------------------------------------------------------------
+// CheckpointRing
+// ---------------------------------------------------------------------------
+
+/// A bounded ring of recent checkpoints (oldest evicted first).
+#[derive(Debug)]
+pub struct CheckpointRing {
+    cap: usize,
+    items: VecDeque<Checkpoint>,
+}
+
+impl CheckpointRing {
+    /// A ring holding at most `capacity >= 1` checkpoints.
+    pub fn new(capacity: usize) -> Self {
+        CheckpointRing {
+            cap: capacity.max(1),
+            items: VecDeque::new(),
+        }
+    }
+
+    /// Insert, evicting the oldest entry when full.
+    pub fn push(&mut self, ck: Checkpoint) {
+        if self.items.len() == self.cap {
+            self.items.pop_front();
+        }
+        self.items.push_back(ck);
+    }
+
+    /// The most recent checkpoint, if any.
+    pub fn latest(&self) -> Option<&Checkpoint> {
+        self.items.back()
+    }
+
+    /// Remove and return the most recent checkpoint (fall back to an older
+    /// one after a failed degraded re-run).
+    pub fn drop_latest(&mut self) -> Option<Checkpoint> {
+        self.items.pop_back()
+    }
+
+    /// Stored checkpoints.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the ring is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Maximum capacity.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Binary on-disk format
+// ---------------------------------------------------------------------------
+
+fn w_u64(w: &mut impl Write, v: u64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn r_u64(r: &mut impl Read) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+fn w_halo(w: &mut impl Write, h: HaloWidths) -> io::Result<()> {
+    for v in [h.xm, h.xp, h.ym, h.yp, h.zm, h.zp] {
+        w_u64(w, v as u64)?;
+    }
+    Ok(())
+}
+
+fn r_halo(r: &mut impl Read) -> io::Result<HaloWidths> {
+    let mut v = [0usize; 6];
+    for slot in &mut v {
+        *slot = r_u64(r)? as usize;
+    }
+    Ok(HaloWidths {
+        xm: v[0],
+        xp: v[1],
+        ym: v[2],
+        yp: v[3],
+        zm: v[4],
+        zp: v[5],
+    })
+}
+
+fn w_raw(w: &mut impl Write, data: &[f64]) -> io::Result<()> {
+    w_u64(w, data.len() as u64)?;
+    for v in data {
+        w.write_all(&v.to_bits().to_le_bytes())?;
+    }
+    Ok(())
+}
+
+fn r_raw(r: &mut impl Read, into: &mut [f64]) -> io::Result<()> {
+    let n = r_u64(r)? as usize;
+    if n != into.len() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("checkpoint array length {n} != allocated {}", into.len()),
+        ));
+    }
+    let mut b = [0u8; 8];
+    for v in into {
+        r.read_exact(&mut b)?;
+        *v = f64::from_bits(u64::from_le_bytes(b));
+    }
+    Ok(())
+}
+
+fn w_field3(w: &mut impl Write, f: &Field3) -> io::Result<()> {
+    let (nx, ny, nz) = f.extents();
+    w_u64(w, nx as u64)?;
+    w_u64(w, ny as u64)?;
+    w_u64(w, nz as u64)?;
+    w_halo(w, f.halo())?;
+    w_raw(w, f.raw())
+}
+
+fn r_field3(r: &mut impl Read) -> io::Result<Field3> {
+    let nx = r_u64(r)? as usize;
+    let ny = r_u64(r)? as usize;
+    let nz = r_u64(r)? as usize;
+    let halo = r_halo(r)?;
+    let mut f = Field3::new(nx, ny, nz, halo);
+    r_raw(r, f.raw_mut())?;
+    Ok(f)
+}
+
+fn w_field2(w: &mut impl Write, f: &Field2) -> io::Result<()> {
+    let (nx, ny) = f.extents();
+    w_u64(w, nx as u64)?;
+    w_u64(w, ny as u64)?;
+    w_halo(w, f.halo())?;
+    w_raw(w, f.raw())
+}
+
+fn r_field2(r: &mut impl Read) -> io::Result<Field2> {
+    let nx = r_u64(r)? as usize;
+    let ny = r_u64(r)? as usize;
+    let halo = r_halo(r)?;
+    let mut f = Field2::new(nx, ny, halo);
+    r_raw(r, f.raw_mut())?;
+    Ok(f)
+}
+
+const FLAG_C_CACHED: u64 = 1;
+const FLAG_PENDING_SMOOTH: u64 = 2;
+const FLAG_HAS_TRIO: u64 = 4;
+
+/// Serialize a checkpoint to `writer` (versioned, little-endian, bitwise).
+pub fn write_checkpoint_to(writer: &mut impl Write, ck: &Checkpoint) -> io::Result<()> {
+    writer.write_all(CHECKPOINT_MAGIC)?;
+    w_u64(writer, ck.step)?;
+    let mut flags = 0;
+    if ck.c_cached {
+        flags |= FLAG_C_CACHED;
+    }
+    if ck.pending_smooth {
+        flags |= FLAG_PENDING_SMOOTH;
+    }
+    let trio = ck.vsum.is_some() && ck.gw.is_some() && ck.phi_p.is_some();
+    if trio {
+        flags |= FLAG_HAS_TRIO;
+    }
+    w_u64(writer, flags)?;
+    w_field3(writer, &ck.state.u)?;
+    w_field3(writer, &ck.state.v)?;
+    w_field3(writer, &ck.state.phi)?;
+    w_field2(writer, &ck.state.psa)?;
+    if trio {
+        w_field2(writer, ck.vsum.as_ref().unwrap())?;
+        w_field3(writer, ck.gw.as_ref().unwrap())?;
+        w_field3(writer, ck.phi_p.as_ref().unwrap())?;
+    }
+    Ok(())
+}
+
+/// Deserialize a checkpoint written by [`write_checkpoint_to`].
+pub fn read_checkpoint_from(reader: &mut impl Read) -> io::Result<Checkpoint> {
+    let mut magic = [0u8; 8];
+    reader.read_exact(&mut magic)?;
+    if &magic != CHECKPOINT_MAGIC {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "not an AGCM checkpoint (bad magic)",
+        ));
+    }
+    let step = r_u64(reader)?;
+    let flags = r_u64(reader)?;
+    let u = r_field3(reader)?;
+    let v = r_field3(reader)?;
+    let phi = r_field3(reader)?;
+    let psa = r_field2(reader)?;
+    let (vsum, gw, phi_p) = if flags & FLAG_HAS_TRIO != 0 {
+        (
+            Some(r_field2(reader)?),
+            Some(r_field3(reader)?),
+            Some(r_field3(reader)?),
+        )
+    } else {
+        (None, None, None)
+    };
+    Ok(Checkpoint {
+        step,
+        state: State { u, v, phi, psa },
+        vsum,
+        gw,
+        phi_p,
+        c_cached: flags & FLAG_C_CACHED != 0,
+        pending_smooth: flags & FLAG_PENDING_SMOOTH != 0,
+    })
+}
+
+/// Write a checkpoint file (buffered, atomic-ish: tmp + rename).
+pub fn write_checkpoint(path: &Path, ck: &Checkpoint) -> io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    {
+        let mut w = io::BufWriter::new(std::fs::File::create(&tmp)?);
+        write_checkpoint_to(&mut w, ck)?;
+        w.flush()?;
+    }
+    std::fs::rename(&tmp, path)
+}
+
+/// Read a checkpoint file written by [`write_checkpoint`].
+pub fn read_checkpoint(path: &Path) -> io::Result<Checkpoint> {
+    let mut r = io::BufReader::new(std::fs::File::open(path)?);
+    read_checkpoint_from(&mut r)
+}
+
+// ---------------------------------------------------------------------------
+// Config + errors
+// ---------------------------------------------------------------------------
+
+/// Tunables of the [`ResilientRunner`].
+#[derive(Debug, Clone)]
+pub struct ResilienceConfig {
+    /// Take a checkpoint every this many steps (0 disables checkpointing —
+    /// any failure is then immediately fatal).
+    pub checkpoint_interval: u64,
+    /// How many checkpoints the in-memory ring keeps.
+    pub ring_capacity: usize,
+    /// Give up (typed error) after this many rollbacks in one run.
+    pub max_rollbacks: u32,
+    /// Blow-up guard: roll back when `max|ξ|` exceeds this.
+    pub max_abs_limit: f64,
+    /// When set, every checkpoint is also written here as
+    /// `rank{R}_step{S}.agcmckpt`.
+    pub checkpoint_dir: Option<PathBuf>,
+}
+
+impl Default for ResilienceConfig {
+    fn default() -> Self {
+        ResilienceConfig {
+            checkpoint_interval: 5,
+            ring_capacity: 2,
+            max_rollbacks: 4,
+            max_abs_limit: 1e6,
+            checkpoint_dir: None,
+        }
+    }
+}
+
+/// Why a resilient run gave up.
+#[derive(Debug)]
+pub enum ResilienceError {
+    /// The rollback budget is spent (or no checkpoint exists to return to).
+    RollbackExhausted {
+        /// Step whose attempt failed last.
+        step: u64,
+        /// Rollbacks performed before giving up.
+        rollbacks: u32,
+    },
+    /// A peer rank died — retry/rollback cannot recover a lost rank.
+    PeerLost(CommError),
+    /// The control-plane communicator itself failed.
+    ControlLost(CommError),
+    /// Checkpoint I/O failed.
+    Io(io::Error),
+}
+
+impl fmt::Display for ResilienceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ResilienceError::RollbackExhausted { step, rollbacks } => write!(
+                f,
+                "rollback budget exhausted after {rollbacks} rollback(s); \
+                 last failure at step {step}"
+            ),
+            ResilienceError::PeerLost(e) => write!(f, "peer rank lost: {e}"),
+            ResilienceError::ControlLost(e) => write!(f, "control plane failed: {e}"),
+            ResilienceError::Io(e) => write!(f, "checkpoint I/O failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ResilienceError {}
+
+impl From<io::Error> for ResilienceError {
+    fn from(e: io::Error) -> Self {
+        ResilienceError::Io(e)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Resilient trait
+// ---------------------------------------------------------------------------
+
+/// The uniform surface the runner drives: capture/restore, degraded mode,
+/// sequence resync, and single-step advancement.
+pub trait Resilient {
+    /// Snapshot the restart state.
+    fn capture(&self) -> Checkpoint;
+    /// Restore a [`Resilient::capture`]d snapshot bit-for-bit.
+    fn restore(&mut self, ck: &Checkpoint);
+    /// Enter/leave degraded mode (blocking exchanges, exact `C`).
+    fn set_degraded(&mut self, on: bool);
+    /// Jump communication sequence numbers to an epoch-derived base.
+    fn resync(&mut self, epoch: u64);
+    /// Completed steps.
+    fn steps_done(&self) -> u64;
+    /// Advance one step.
+    fn step_once(&mut self, comm: &Communicator) -> CommResult<()>;
+    /// Drain deferred work after the last step (e.g. the fused smoothing).
+    fn finish_run(&mut self, _comm: &Communicator) -> CommResult<()> {
+        Ok(())
+    }
+    /// The prognostic state (for the blow-up guard).
+    fn state_ref(&self) -> &State;
+}
+
+impl Resilient for SerialModel {
+    fn capture(&self) -> Checkpoint {
+        SerialModel::capture(self)
+    }
+    fn restore(&mut self, ck: &Checkpoint) {
+        SerialModel::restore(self, ck)
+    }
+    fn set_degraded(&mut self, on: bool) {
+        SerialModel::set_degraded(self, on)
+    }
+    fn resync(&mut self, _epoch: u64) {}
+    fn steps_done(&self) -> u64 {
+        self.steps as u64
+    }
+    fn step_once(&mut self, _comm: &Communicator) -> CommResult<()> {
+        self.step();
+        Ok(())
+    }
+    fn state_ref(&self) -> &State {
+        &self.state
+    }
+}
+
+impl Resilient for Alg1Model {
+    fn capture(&self) -> Checkpoint {
+        Alg1Model::capture(self)
+    }
+    fn restore(&mut self, ck: &Checkpoint) {
+        Alg1Model::restore(self, ck)
+    }
+    fn set_degraded(&mut self, on: bool) {
+        Alg1Model::set_degraded(self, on)
+    }
+    fn resync(&mut self, epoch: u64) {
+        Alg1Model::resync(self, epoch)
+    }
+    fn steps_done(&self) -> u64 {
+        self.steps as u64
+    }
+    fn step_once(&mut self, comm: &Communicator) -> CommResult<()> {
+        self.step(comm)
+    }
+    fn state_ref(&self) -> &State {
+        &self.state
+    }
+}
+
+impl Resilient for CaModel {
+    fn capture(&self) -> Checkpoint {
+        CaModel::capture(self)
+    }
+    fn restore(&mut self, ck: &Checkpoint) {
+        CaModel::restore(self, ck)
+    }
+    fn set_degraded(&mut self, on: bool) {
+        CaModel::set_degraded(self, on)
+    }
+    fn resync(&mut self, epoch: u64) {
+        CaModel::resync(self, epoch)
+    }
+    fn steps_done(&self) -> u64 {
+        self.steps as u64
+    }
+    fn step_once(&mut self, comm: &Communicator) -> CommResult<()> {
+        self.step(comm)
+    }
+    fn finish_run(&mut self, comm: &Communicator) -> CommResult<()> {
+        self.finish(comm)
+    }
+    fn state_ref(&self) -> &State {
+        &self.state
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ResilientRunner
+// ---------------------------------------------------------------------------
+
+/// What a resilient run did.
+#[derive(Debug, Clone, Default)]
+pub struct RunReport {
+    /// Net completed steps (== the requested count on success).
+    pub steps: u64,
+    /// Step attempts, including re-runs after rollbacks.
+    pub attempted_steps: u64,
+    /// Rollbacks performed.
+    pub rollbacks: u32,
+    /// Checkpoints taken.
+    pub checkpoints: u64,
+    /// Steps executed in degraded mode.
+    pub degraded_steps: u64,
+}
+
+/// The resilient step loop: checkpoint ring + health consensus + rollback.
+pub struct ResilientRunner {
+    cfg: ResilienceConfig,
+    ctrl: Communicator,
+    ring: CheckpointRing,
+    epoch: u64,
+    report: RunReport,
+    last_ck: Option<u64>,
+    failed_at: Option<u64>,
+}
+
+// health-flag encoding on the control plane: 0 = ok, 1 = transient error /
+// NaN / blow-up, 2 + peer = a peer rank is gone (unrecoverable)
+const HEALTH_PEER_BASE: f64 = 2.0;
+
+fn ctrl_err(e: CommError) -> ResilienceError {
+    match e {
+        CommError::PeerFailed { .. } | CommError::PeerGone { .. } => ResilienceError::PeerLost(e),
+        _ => ResilienceError::ControlLost(e),
+    }
+}
+
+/// How one step attempt ended, locally.
+enum Attempt {
+    Ok,
+    /// Recoverable: a transient comm error, or a mid-step panic (a blown
+    /// dycore invariant — e.g. `p_es > 0` — is a blow-up signal; the
+    /// checkpoint restore discards the inconsistent model state).
+    Transient,
+    /// Unrecoverable: a peer rank is gone.
+    PeerLoss(CommError),
+}
+
+fn classify(res: std::thread::Result<CommResult<()>>) -> Attempt {
+    match res {
+        Ok(Ok(())) => Attempt::Ok,
+        Ok(Err(e @ (CommError::PeerFailed { .. } | CommError::PeerGone { .. }))) => {
+            Attempt::PeerLoss(e)
+        }
+        Ok(Err(_)) => Attempt::Transient,
+        Err(_panic) => Attempt::Transient,
+    }
+}
+
+impl ResilientRunner {
+    /// Build a runner; splits a **dedicated control communicator** off
+    /// `comm` (collective — every rank of `comm` must call this).
+    pub fn new(comm: &mut Communicator, cfg: ResilienceConfig) -> CommResult<Self> {
+        let rank = comm.rank();
+        let ctrl = comm.split(0, rank)?;
+        // the control plane must outlast a peer that is still draining a
+        // doomed step attempt (whose receives give up after the *model*
+        // comm's timeout), so it waits strictly longer
+        ctrl.set_timeout(comm.timeout() * 3 + std::time::Duration::from_secs(1));
+        let ring = CheckpointRing::new(cfg.ring_capacity);
+        Ok(ResilientRunner {
+            cfg,
+            ctrl,
+            ring,
+            epoch: 0,
+            report: RunReport::default(),
+            last_ck: None,
+            failed_at: None,
+        })
+    }
+
+    /// The report accumulated so far.
+    pub fn report(&self) -> &RunReport {
+        &self.report
+    }
+
+    /// Run `model` to `n_steps` completed steps, recovering from transient
+    /// faults via checkpoint rollback + degraded re-runs.
+    ///
+    /// Collective: every rank calls with its share of the model and the
+    /// same `n_steps`.  On success the model's deferred smoothing has been
+    /// drained ([`Resilient::finish_run`]).
+    pub fn run<M: Resilient>(
+        &mut self,
+        model: &mut M,
+        comm: &Communicator,
+        n_steps: u64,
+    ) -> Result<RunReport, ResilienceError> {
+        loop {
+            let s = model.steps_done();
+            // leave degraded mode once safely past the failure point
+            if let Some(f) = self.failed_at {
+                if s > f {
+                    model.set_degraded(false);
+                    self.failed_at = None;
+                }
+            }
+            if s >= n_steps {
+                let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    model.finish_run(comm)
+                }));
+                if self.health_round(model, classify(res))? {
+                    break;
+                }
+                self.rollback(model, comm, s)?;
+                continue;
+            }
+            if self.cfg.checkpoint_interval > 0
+                && s.is_multiple_of(self.cfg.checkpoint_interval)
+                && self.last_ck != Some(s)
+            {
+                self.take_checkpoint(model)?;
+            }
+            let res =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| model.step_once(comm)));
+            self.report.attempted_steps += 1;
+            if self.health_round(model, classify(res))? {
+                if self.failed_at.is_some() {
+                    self.report.degraded_steps += 1;
+                }
+            } else {
+                self.rollback(model, comm, s)?;
+            }
+        }
+        self.report.steps = n_steps;
+        Ok(self.report.clone())
+    }
+
+    /// One control-plane consensus: `Ok(true)` = everyone healthy,
+    /// `Ok(false)` = somebody needs a rollback, `Err` = unrecoverable.
+    fn health_round<M: Resilient>(
+        &self,
+        model: &M,
+        attempt: Attempt,
+    ) -> Result<bool, ResilienceError> {
+        let nan = model.state_ref().has_nan();
+        let mut flags = [
+            match &attempt {
+                Attempt::Ok => 0.0,
+                Attempt::Transient => 1.0,
+                Attempt::PeerLoss(CommError::PeerFailed { peer })
+                | Attempt::PeerLoss(CommError::PeerGone { peer }) => {
+                    HEALTH_PEER_BASE + *peer as f64
+                }
+                Attempt::PeerLoss(_) => HEALTH_PEER_BASE,
+            },
+            if nan { 1.0 } else { 0.0 },
+            if nan {
+                0.0
+            } else {
+                model.state_ref().max_abs()
+            },
+        ];
+        self.ctrl
+            .allreduce(ReduceOp::Max, &mut flags, AllreduceAlgo::Ring)
+            .map_err(ctrl_err)?;
+        if flags[0] >= HEALTH_PEER_BASE {
+            let peer = (flags[0] - HEALTH_PEER_BASE) as usize;
+            return Err(ResilienceError::PeerLost(match attempt {
+                Attempt::PeerLoss(e) => e,
+                _ => CommError::PeerFailed { peer },
+            }));
+        }
+        Ok(flags[0] == 0.0 && flags[1] == 0.0 && flags[2] <= self.cfg.max_abs_limit)
+    }
+
+    fn take_checkpoint<M: Resilient>(&mut self, model: &M) -> Result<(), ResilienceError> {
+        let ck = model.capture();
+        if let Some(dir) = &self.cfg.checkpoint_dir {
+            let path = dir.join(format!(
+                "rank{:04}_step{:08}.agcmckpt",
+                self.ctrl.rank(),
+                ck.step
+            ));
+            write_checkpoint(&path, &ck)?;
+        }
+        self.last_ck = Some(ck.step);
+        self.ring.push(ck);
+        self.report.checkpoints += 1;
+        agcm_obs::Registry::global()
+            .counter("resilience.checkpoints")
+            .inc();
+        Ok(())
+    }
+
+    /// The lockstep rollback protocol (see DESIGN.md §7).
+    fn rollback<M: Resilient>(
+        &mut self,
+        model: &mut M,
+        comm: &Communicator,
+        failed_step: u64,
+    ) -> Result<(), ResilienceError> {
+        let _sp = agcm_obs::span(agcm_obs::SpanKind::Recovery, "resilience.rollback");
+        // a *degraded* re-run that fails again means the latest checkpoint
+        // window is poisoned: fall back to an older checkpoint
+        if self.failed_at.is_some() {
+            self.ring.drop_latest();
+        }
+        if self.report.rollbacks >= self.cfg.max_rollbacks || self.ring.is_empty() {
+            return Err(ResilienceError::RollbackExhausted {
+                step: failed_step,
+                rollbacks: self.report.rollbacks,
+            });
+        }
+        self.report.rollbacks += 1;
+        agcm_obs::Registry::global()
+            .counter("resilience.rollbacks")
+            .inc();
+        self.epoch += 1;
+        // 1. everyone has stopped stepping (control plane is in lockstep)
+        self.ctrl.barrier().map_err(ctrl_err)?;
+        // 2. drop stragglers of the aborted attempt; own-context mail and
+        //    control-plane messages (which may be in flight from a rank
+        //    already past its purge) survive
+        comm.purge_other_contexts(&[&self.ctrl]);
+        // 3. nobody re-enters the model until all queues are purged
+        self.ctrl.barrier().map_err(ctrl_err)?;
+        let ck = self.ring.latest().expect("ring checked non-empty above");
+        model.restore(ck);
+        // 4. sequence numbers jump to an epoch base: a straggler of the
+        //    aborted attempt can never match a tag of the re-run
+        model.resync(self.epoch);
+        model.set_degraded(true);
+        self.failed_at = Some(self.failed_at.map_or(failed_step, |f| f.max(failed_step)));
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tests
+// ---------------------------------------------------------------------------
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModelConfig;
+    use crate::init;
+    use crate::serial::{Iteration, SerialModel};
+    use agcm_comm::Universe;
+
+    fn seeded_serial(variant: Iteration) -> SerialModel {
+        let cfg = ModelConfig::test_small();
+        let mut m = SerialModel::new(&cfg, variant).unwrap();
+        let ic = init::perturbed_rest(m.geom(), 200.0, 0.3, 3);
+        m.set_state(&ic);
+        m
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_drops_latest() {
+        let m = seeded_serial(Iteration::Exact);
+        let mut ring = CheckpointRing::new(2);
+        assert!(ring.is_empty());
+        for step in 0..3u64 {
+            let mut ck = m.capture();
+            ck.step = step;
+            ring.push(ck);
+        }
+        assert_eq!(ring.len(), 2);
+        assert_eq!(ring.latest().unwrap().step, 2);
+        assert_eq!(ring.drop_latest().unwrap().step, 2);
+        assert_eq!(ring.latest().unwrap().step, 1);
+        assert!(ring.drop_latest().is_some());
+        assert!(ring.drop_latest().is_none());
+    }
+
+    #[test]
+    fn capture_restore_is_bitwise_for_serial_approximate() {
+        let mut m = seeded_serial(Iteration::Approximate);
+        m.run(3);
+        let ck = Resilient::capture(&m);
+        m.run(2);
+        let later = m.state.clone();
+        Resilient::restore(&mut m, &ck);
+        assert_eq!(m.steps, 3);
+        m.run(2);
+        // the approximate variant reuses cached C: the checkpoint must
+        // restore the cache too for a bitwise replay
+        assert_eq!(m.state.max_abs_diff(&later), 0.0);
+    }
+
+    #[test]
+    fn disk_round_trip_is_bitwise() {
+        let mut m = seeded_serial(Iteration::Approximate);
+        m.run(2);
+        let ck = Resilient::capture(&m);
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("agcm_ckpt_test_{}.agcmckpt", std::process::id()));
+        write_checkpoint(&path, &ck).unwrap();
+        let back = read_checkpoint(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(back, ck);
+        // and it must actually restart bit-for-bit
+        m.run(1);
+        let gold = m.state.clone();
+        let mut m2 = seeded_serial(Iteration::Approximate);
+        Resilient::restore(&mut m2, &back);
+        m2.run(1);
+        assert_eq!(m2.state.max_abs_diff(&gold), 0.0);
+    }
+
+    #[test]
+    fn read_rejects_bad_magic() {
+        let mut buf: Vec<u8> = b"NOTACKPT".to_vec();
+        buf.extend_from_slice(&[0u8; 64]);
+        let err = read_checkpoint_from(&mut &buf[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn runner_happy_path_matches_plain_run() {
+        let gold = {
+            let mut m = seeded_serial(Iteration::Approximate);
+            m.run(4);
+            m.state.clone()
+        };
+        let report = Universe::run(1, move |comm| {
+            let mut m = seeded_serial(Iteration::Approximate);
+            let mut runner = ResilientRunner::new(
+                comm,
+                ResilienceConfig {
+                    checkpoint_interval: 2,
+                    ..ResilienceConfig::default()
+                },
+            )
+            .unwrap();
+            let report = runner.run(&mut m, comm, 4).unwrap();
+            assert_eq!(
+                m.state.max_abs_diff(&gold),
+                0.0,
+                "resilient run must not perturb"
+            );
+            report
+        })
+        .pop()
+        .unwrap();
+        assert_eq!(report.steps, 4);
+        assert_eq!(report.attempted_steps, 4);
+        assert_eq!(report.rollbacks, 0);
+        assert_eq!(report.checkpoints, 2); // steps 0 and 2
+        assert_eq!(report.degraded_steps, 0);
+    }
+
+    #[test]
+    fn runner_exhausts_rollbacks_on_persistent_blowup() {
+        // an absurd blow-up threshold makes every attempt "fail": the
+        // runner must retry through its budget and then give up typed
+        let err = Universe::run(1, |comm| {
+            let mut m = seeded_serial(Iteration::Exact);
+            let mut runner = ResilientRunner::new(
+                comm,
+                ResilienceConfig {
+                    checkpoint_interval: 1,
+                    ring_capacity: 2,
+                    max_rollbacks: 3,
+                    max_abs_limit: 1e-12,
+                    checkpoint_dir: None,
+                },
+            )
+            .unwrap();
+            runner.run(&mut m, comm, 4).unwrap_err()
+        })
+        .pop()
+        .unwrap();
+        match err {
+            ResilienceError::RollbackExhausted { rollbacks, .. } => {
+                assert!(rollbacks <= 3, "budget respected, got {rollbacks}")
+            }
+            other => panic!("expected RollbackExhausted, got {other}"),
+        }
+    }
+}

@@ -81,6 +81,43 @@ impl SerialModel {
         self.engine.c_cached = false;
     }
 
+    /// Degraded mode forces the exact iteration (fresh `C` in every
+    /// sub-update) until cleared.
+    pub fn set_degraded(&mut self, on: bool) {
+        if on {
+            self.variant = Iteration::Exact;
+            self.engine.c_cached = false;
+        }
+    }
+
+    /// Snapshot the restart state, including the cached `C` outputs the
+    /// approximate iteration reuses across steps (Eq. 13).
+    pub fn capture(&self) -> crate::resilience::Checkpoint {
+        crate::resilience::Checkpoint {
+            step: self.steps as u64,
+            state: self.state.clone(),
+            vsum: Some(self.engine.diag.vsum.clone()),
+            gw: Some(self.engine.diag.gw.clone()),
+            phi_p: Some(self.engine.diag.phi_p.clone()),
+            c_cached: self.engine.c_cached,
+            pending_smooth: false,
+        }
+    }
+
+    /// Restore a [`Self::capture`]d snapshot bit-for-bit.
+    pub fn restore(&mut self, ck: &crate::resilience::Checkpoint) {
+        self.steps = ck.step as usize;
+        self.state.clone_from(&ck.state);
+        if let (Some(vsum), Some(gw), Some(phi_p)) = (&ck.vsum, &ck.gw, &ck.phi_p) {
+            self.engine.diag.vsum.clone_from(vsum);
+            self.engine.diag.gw.clone_from(gw);
+            self.engine.diag.phi_p.clone_from(phi_p);
+            self.engine.c_cached = ck.c_cached;
+        } else {
+            self.engine.c_cached = false;
+        }
+    }
+
     /// Advance one full time step (Algorithm 1 body).
     pub fn step(&mut self) {
         agcm_obs::set_step(self.steps as u64);

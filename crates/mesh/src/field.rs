@@ -493,6 +493,16 @@ impl Field2 {
         }
     }
 
+    /// Raw data (including halos) — escape hatch for checkpoint I/O.
+    pub fn raw(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Raw mutable data.
+    pub fn raw_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
     #[inline]
     fn idx(&self, i: isize, j: isize) -> usize {
         debug_assert!(

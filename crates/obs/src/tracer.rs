@@ -44,6 +44,8 @@ pub enum SpanKind {
     Collective,
     /// An instant gauge sample (`value` holds the sample).
     Gauge,
+    /// Fault recovery: a rollback + degraded re-run window.
+    Recovery,
 }
 
 impl SpanKind {
@@ -58,6 +60,7 @@ impl SpanKind {
             SpanKind::OverlapCompute => "overlap_compute",
             SpanKind::Collective => "collective",
             SpanKind::Gauge => "gauge",
+            SpanKind::Recovery => "recovery",
         }
     }
 }

@@ -46,7 +46,7 @@ pub use deadlock::{check_deadlock, DeadlockReport};
 pub use graph::{Action, RecvEvent, ScheduleGraph, SendEvent};
 pub use matching::{check_matching, MatchReport};
 pub use report::{certify_paper_ranks, certify_yz, paper_yz_grid, Certification, PAPER_RANKS};
-pub use runtime::{cross_check, measure_step, MeasuredTraffic};
+pub use runtime::{cross_check, measure_step, measure_step_under_faults, MeasuredTraffic};
 pub use trace::{
     expected_counts, measure_spans, trace_cross_check, ExpectedSpanCounts, RankSpanCounts,
 };

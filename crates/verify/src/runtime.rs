@@ -30,20 +30,59 @@ pub struct MeasuredTraffic {
 /// steady state: warm `C` cache, pending smoothing — and return per-rank
 /// halo traffic with collective-internal messages subtracted.
 pub fn measure_step(cfg: &ModelConfig, alg: AlgKind, pgrid: ProcessGrid) -> Vec<MeasuredTraffic> {
+    measure_step_inner(cfg, alg, pgrid, None)
+}
+
+/// Like [`measure_step`] but with a deterministic fault plan installed and
+/// framed, retrying exchanges.  The certified counts must be *invariant*
+/// under delivery faults: the stats count logical payloads (checksum
+/// frames excluded), redundant duplicate deliveries are never counted,
+/// drops/corruptions are recovered receiver-side without reposting sends,
+/// and stalls/delays only move messages in time.
+pub fn measure_step_under_faults(
+    cfg: &ModelConfig,
+    alg: AlgKind,
+    pgrid: ProcessGrid,
+    seed: u64,
+    spec: &str,
+) -> Vec<MeasuredTraffic> {
+    measure_step_inner(cfg, alg, pgrid, Some((seed, spec.to_string())))
+}
+
+fn measure_step_inner(
+    cfg: &ModelConfig,
+    alg: AlgKind,
+    pgrid: ProcessGrid,
+    fault: Option<(u64, String)>,
+) -> Vec<MeasuredTraffic> {
     let cfg = cfg.clone();
     Universe::run(pgrid.size(), move |comm| {
+        if let Some((seed, spec)) = &fault {
+            comm.install_faults(agcm_comm::FaultPlan::parse(*seed, spec).expect("valid spec"));
+            comm.set_timeout(std::time::Duration::from_millis(500));
+        }
+        let faulty = fault.is_some();
         // the per-event log (needed to subtract collective-internal p2p)
         // is opt-in since it grows unboundedly on long runs
         comm.stats().set_event_logging(true);
         let mut step: Box<dyn FnMut(&Communicator)> = match alg {
             AlgKind::CommAvoiding => {
                 let mut m = CaModel::new(&cfg, pgrid, comm).expect("valid CA model");
+                if faulty {
+                    // framed + retrying exchanges recover drops/corruption
+                    m.set_framed(true);
+                    m.set_retry(agcm_core::par::RetryPolicy::default());
+                }
                 let ic = init::perturbed_rest(m.geom(), 100.0, 1.0, 3);
                 m.set_state(&ic);
                 Box::new(move |c| m.step(c).expect("step"))
             }
             _ => {
                 let mut m = Alg1Model::new(&cfg, pgrid, comm).expect("valid Alg1 model");
+                if faulty {
+                    m.set_framed(true);
+                    m.set_retry(agcm_core::par::RetryPolicy::default());
+                }
                 let ic = init::perturbed_rest(m.geom(), 100.0, 1.0, 3);
                 m.set_state(&ic);
                 Box::new(move |c| m.step(c).expect("step"))
