@@ -1,0 +1,29 @@
+//! Per-operator micro-benchmark: row-sliced kernels vs scalar references.
+//!
+//! Prints a ns/point table for every rewritten operator at 1, 2 and 4
+//! workers.  `figures perf` runs the same measurement and emits it as
+//! `BENCH_kernels.json`; this harness is the interactive view
+//! (`cargo bench --bench kernels`).
+
+use agcm_bench::kernels::measure_kernels;
+use agcm_bench::timing::group;
+use agcm_core::pool;
+use agcm_core::ModelConfig;
+
+fn main() {
+    let cfg = ModelConfig::test_medium();
+    for nt in [1usize, 2, 4] {
+        group(&format!("kernels ({nt} workers, ns/point, median of 9)"));
+        let perfs = pool::with_workers(nt, || measure_kernels(&cfg, 3, 9));
+        println!(
+            "{:<12} {:>10} {:>14} {:>17} {:>9}",
+            "kernel", "points", "row ns/pt", "scalar ns/pt", "speedup"
+        );
+        for p in perfs {
+            println!(
+                "{:<12} {:>10} {:>14.3} {:>17.3} {:>8.2}x",
+                p.name, p.points, p.row_ns_per_point, p.scalar_ns_per_point, p.speedup
+            );
+        }
+    }
+}

@@ -34,6 +34,7 @@ fn main() {
         "verify" => verify(),
         "trace" => trace(),
         "restart" => restart(),
+        "perf" => perf(std::env::args().nth(2)),
         "all" => {
             print_tables();
             fig1(&cfg, &model);
@@ -49,7 +50,7 @@ fn main() {
         other => {
             eprintln!("unknown figure '{other}'");
             eprintln!(
-                "usage: figures [all|fig1|fig6|fig7|fig8|theory|tables|validate|verify|trace|restart]"
+                "usage: figures [all|fig1|fig6|fig7|fig8|theory|tables|validate|verify|trace|restart|perf [baseline.json]]"
             );
             std::process::exit(2);
         }
@@ -596,4 +597,76 @@ fn restart() {
         eprintln!("restart round-trip: FAIL — checkpoint restore is not bitwise");
         std::process::exit(1);
     }
+}
+
+/// `perf` — kernel micro-benchmark: row-sliced operators vs their scalar
+/// golden references, emitted as `BENCH_kernels.json` (ns/point + speedup).
+///
+/// With a `baseline` argument the run becomes a CI gate: each kernel's
+/// row-vs-scalar *speedup ratio* (machine-portable, unlike raw ns/point)
+/// is compared against the baseline document and the process exits nonzero
+/// if any kernel regressed by more than 30%.
+fn perf(baseline: Option<String>) {
+    use agcm_bench::kernels::{measure_kernels, parse_speedups, to_json};
+    use agcm_core::pool;
+
+    header("Kernel micro-benchmark — row-sliced vs scalar reference");
+    let cfg = ModelConfig::test_medium();
+    let (warmup, iters) = (3, 9);
+    // one worker: the CI gate must not confound banding overhead with
+    // kernel-level vectorization wins
+    let perfs = pool::with_workers(1, || measure_kernels(&cfg, warmup, iters));
+    println!(
+        "{:<12} {:>10} {:>14} {:>17} {:>9}",
+        "kernel", "points", "row ns/pt", "scalar ns/pt", "speedup"
+    );
+    for p in &perfs {
+        println!(
+            "{:<12} {:>10} {:>14.3} {:>17.3} {:>8.2}x",
+            p.name, p.points, p.row_ns_per_point, p.scalar_ns_per_point, p.speedup
+        );
+    }
+
+    let doc = to_json("test_medium", warmup, iters, &perfs);
+    if let Err(e) = obs::validate_json(&doc) {
+        eprintln!("BENCH_kernels.json failed RFC 8259 validation: {e}");
+        std::process::exit(1);
+    }
+
+    if let Some(base_path) = baseline {
+        let base = match std::fs::read_to_string(&base_path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("cannot read baseline {base_path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        let want = parse_speedups(&base);
+        let got = parse_speedups(&doc);
+        let mut failed = false;
+        for (name, base_sp) in &want {
+            let Some((_, new_sp)) = got.iter().find(|(n, _)| n == name) else {
+                eprintln!("perf gate: kernel '{name}' missing from new measurement");
+                failed = true;
+                continue;
+            };
+            let ratio = new_sp / base_sp;
+            let verdict = if ratio < 0.70 { "REGRESSED" } else { "ok" };
+            println!(
+                "  gate {name:<12} baseline {base_sp:>6.2}x  now {new_sp:>6.2}x  ({:.0}% of baseline) {verdict}",
+                100.0 * ratio
+            );
+            if ratio < 0.70 {
+                failed = true;
+            }
+        }
+        if failed {
+            eprintln!("perf gate: at least one kernel regressed >30% vs {base_path}");
+            std::process::exit(1);
+        }
+        println!("perf gate: PASS (no kernel speedup below 70% of baseline)");
+    }
+
+    std::fs::write("BENCH_kernels.json", &doc).expect("write BENCH_kernels.json");
+    println!("wrote BENCH_kernels.json ({} kernels)", perfs.len());
 }

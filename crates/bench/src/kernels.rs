@@ -1,0 +1,324 @@
+//! Per-operator kernel micro-benchmark: row-sliced kernels vs their scalar
+//! golden references.
+//!
+//! Each hot operator of the dynamical core step is timed twice over the same
+//! randomized state — once through the row-slice path the models run, once
+//! through the `*_scalar` reference (exposed by the `scalar-ref` feature of
+//! `agcm-core`) — and reported in ns/point.  The module is shared by the
+//! `kernels` bench harness and the `figures perf` subcommand, which emits
+//! the results as `BENCH_kernels.json`.
+
+use crate::timing::{bench_stats, Stats};
+use agcm_core::adaptation::{adaptation_tendency, adaptation_tendency_scalar};
+use agcm_core::advection::{advection_tendency, advection_tendency_scalar};
+use agcm_core::diag::Diag;
+use agcm_core::pool;
+use agcm_core::smoothing::{smooth_rows, smooth_rows_scalar, RowMask};
+use agcm_core::stdatm::StandardAtmosphere;
+use agcm_core::vertical::{apply_c, apply_c_scalar, ZContext};
+use agcm_core::{LocalGeometry, ModelConfig, Region, State};
+use agcm_fft::{FilterScratch, FourierFilter};
+use agcm_mesh::{Decomposition, Field2, Field3, HaloWidths, ProcessGrid};
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+/// Timing result for one operator: row path vs scalar reference.
+#[derive(Debug, Clone)]
+pub struct KernelPerf {
+    /// Operator name (`adaptation`, `advection`, `smoothing`, `vertical_c`,
+    /// `fft_filter`).
+    pub name: &'static str,
+    /// Grid points the operator touches per invocation.
+    pub points: usize,
+    /// Median ns/point of the row-slice path (what the models run).
+    pub row_ns_per_point: f64,
+    /// Median ns/point of the scalar golden reference.
+    pub scalar_ns_per_point: f64,
+    /// `scalar_ns_per_point / row_ns_per_point` — ≥ 1 means the rewrite won.
+    pub speedup: f64,
+}
+
+fn splitmix64(s: &mut u64) -> u64 {
+    *s = s.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *s;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+fn rand_sym(s: &mut u64) -> f64 {
+    (splitmix64(s) >> 11) as f64 / (1u64 << 52) as f64 - 1.0
+}
+
+fn rand_pos(s: &mut u64) -> f64 {
+    0.5 + (splitmix64(s) >> 12) as f64 / (1u64 << 52) as f64
+}
+
+fn fill3(f: &mut Field3, s: &mut u64) {
+    for v in f.raw_mut() {
+        *v = rand_sym(s);
+    }
+}
+
+fn fill2(f: &mut Field2, s: &mut u64) {
+    for v in f.raw_mut() {
+        *v = rand_sym(s);
+    }
+}
+
+fn fill2_pos(f: &mut Field2, s: &mut u64) {
+    for v in f.raw_mut() {
+        *v = rand_pos(s);
+    }
+}
+
+fn serial_geom(cfg: &ModelConfig) -> LocalGeometry {
+    let grid = Arc::new(cfg.grid().expect("valid bench config"));
+    let d = Decomposition::new(cfg.extents(), ProcessGrid::serial()).expect("serial decomp");
+    LocalGeometry::new(cfg, grid, &d, 0, HaloWidths::uniform(2))
+}
+
+fn random_state(geom: &LocalGeometry, seed: u64) -> State {
+    let mut s = seed;
+    let mut st = State::new(geom.nx, geom.ny, geom.nz, geom.halo);
+    fill3(&mut st.u, &mut s);
+    fill3(&mut st.v, &mut s);
+    fill3(&mut st.phi, &mut s);
+    fill2(&mut st.psa, &mut s);
+    st
+}
+
+fn random_diag(geom: &LocalGeometry, seed: u64) -> Diag {
+    let mut s = seed;
+    let mut d = Diag::new(geom);
+    fill2_pos(&mut d.pes, &mut s);
+    fill2_pos(&mut d.cap_p, &mut s);
+    fill2(&mut d.dsa, &mut s);
+    fill3(&mut d.dp, &mut s);
+    fill2(&mut d.vsum, &mut s);
+    fill3(&mut d.gw, &mut s);
+    fill3(&mut d.phi_p, &mut s);
+    d
+}
+
+fn ns_per_point(s: &Stats, points: usize) -> f64 {
+    s.median.as_nanos() as f64 / points as f64
+}
+
+fn perf(name: &'static str, points: usize, row: Stats, scalar: Stats) -> KernelPerf {
+    let row_ns = ns_per_point(&row, points);
+    let scalar_ns = ns_per_point(&scalar, points);
+    KernelPerf {
+        name,
+        points,
+        row_ns_per_point: row_ns,
+        scalar_ns_per_point: scalar_ns,
+        speedup: scalar_ns / row_ns,
+    }
+}
+
+/// Time every rewritten operator on `cfg`'s serial geometry, row path vs
+/// scalar reference, under the ambient worker-pool setting.  `warmup`
+/// untimed + `iters` timed invocations each; medians are reported.
+pub fn measure_kernels(cfg: &ModelConfig, warmup: usize, iters: usize) -> Vec<KernelPerf> {
+    let geom = serial_geom(cfg);
+    let region = Region {
+        y0: 0,
+        y1: geom.ny as isize,
+        z0: 0,
+        z1: geom.nz as isize,
+    };
+    let points = geom.nx * geom.ny * geom.nz;
+    let mut seed = 0x00C0FFEE;
+
+    let arg = random_state(&geom, splitmix64(&mut seed));
+    let diag = random_diag(&geom, splitmix64(&mut seed));
+    let mut tend = random_state(&geom, splitmix64(&mut seed));
+    let mut out = Vec::new();
+
+    let row = bench_stats(warmup, iters, || {
+        adaptation_tendency(&geom, &arg, &diag, &mut tend, region)
+    });
+    let scalar = bench_stats(warmup, iters, || {
+        adaptation_tendency_scalar(&geom, &arg, &diag, &mut tend, region)
+    });
+    out.push(perf("adaptation", points, row, scalar));
+
+    let row = bench_stats(warmup, iters, || {
+        advection_tendency(&geom, &arg, &diag, &mut tend, region)
+    });
+    let scalar = bench_stats(warmup, iters, || {
+        advection_tendency_scalar(&geom, &arg, &diag, &mut tend, region)
+    });
+    out.push(perf("advection", points, row, scalar));
+
+    let row = bench_stats(warmup, iters, || {
+        smooth_rows(&geom, 0.1, &arg, &mut tend, region, RowMask::FULL, false)
+    });
+    let scalar = bench_stats(warmup, iters, || {
+        smooth_rows_scalar(&geom, 0.1, &arg, &mut tend, region, RowMask::FULL, false)
+    });
+    out.push(perf("smoothing", points, row, scalar));
+
+    let stdatm = StandardAtmosphere::new(&geom.grid);
+    let mut dwork = random_diag(&geom, splitmix64(&mut seed));
+    let row = bench_stats(warmup, iters, || {
+        apply_c(
+            &geom,
+            &stdatm,
+            &arg,
+            &mut dwork,
+            region,
+            &ZContext::Serial,
+            true,
+        )
+        .unwrap()
+    });
+    let scalar = bench_stats(warmup, iters, || {
+        apply_c_scalar(
+            &geom,
+            &stdatm,
+            &arg,
+            &mut dwork,
+            region,
+            &ZContext::Serial,
+            true,
+        )
+        .unwrap()
+    });
+    out.push(perf("vertical_c", points, row, scalar));
+
+    // FFT filter: scratch-reusing path vs per-call-allocating reference over
+    // every polar row the profile damps.  Both paths recopy the pristine row
+    // first so they transform identical data each iteration.
+    let grid = &geom.grid;
+    let lats: Vec<f64> = (0..grid.ny()).map(|j| grid.latitude(j)).collect();
+    let filter = FourierFilter::new(grid.nx(), &lats, cfg.filter_cutoff_deg.to_radians());
+    let active: Vec<usize> = (0..grid.ny()).filter(|&j| filter.is_active(j)).collect();
+    let pristine: Vec<f64> = {
+        let mut s = splitmix64(&mut seed);
+        (0..grid.nx()).map(|_| rand_sym(&mut s)).collect()
+    };
+    let mut rowbuf = pristine.clone();
+    let mut scratch = FilterScratch::new();
+    let fpoints = active.len().max(1) * grid.nx();
+    let row = bench_stats(warmup, iters, || {
+        for &j in &active {
+            rowbuf.copy_from_slice(&pristine);
+            filter.apply_row_with(j, &mut rowbuf, &mut scratch);
+        }
+    });
+    let scalar = bench_stats(warmup, iters, || {
+        for &j in &active {
+            rowbuf.copy_from_slice(&pristine);
+            filter.apply_row(j, &mut rowbuf);
+        }
+    });
+    out.push(perf("fft_filter", fpoints, row, scalar));
+
+    out
+}
+
+/// Render measurements as the `BENCH_kernels.json` document (RFC 8259).
+pub fn to_json(cfg_name: &str, warmup: usize, iters: usize, kernels: &[KernelPerf]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"bench\": \"kernels\",");
+    let _ = writeln!(s, "  \"config\": \"{cfg_name}\",");
+    let _ = writeln!(s, "  \"threads\": {},", pool::workers());
+    let _ = writeln!(s, "  \"warmup\": {warmup},");
+    let _ = writeln!(s, "  \"iters\": {iters},");
+    s.push_str("  \"kernels\": [\n");
+    for (i, k) in kernels.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"name\": \"{}\", \"points\": {}, \"row_ns_per_point\": {:.3}, \
+             \"scalar_ns_per_point\": {:.3}, \"speedup\": {:.3}}}",
+            k.name, k.points, k.row_ns_per_point, k.scalar_ns_per_point, k.speedup
+        );
+        s.push_str(if i + 1 < kernels.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Pull `(name, speedup)` pairs back out of a `BENCH_kernels.json` document.
+///
+/// Purpose-built for the CI perf gate: speedup *ratios* are machine-portable
+/// where raw ns/point are not.  Accepts exactly the shape [`to_json`] emits.
+pub fn parse_speedups(src: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for line in src.lines() {
+        let Some(n0) = line.find("\"name\": \"") else {
+            continue;
+        };
+        let rest = &line[n0 + 9..];
+        let Some(n1) = rest.find('"') else { continue };
+        let name = rest[..n1].to_string();
+        let Some(s0) = line.find("\"speedup\": ") else {
+            continue;
+        };
+        let tail = &line[s0 + 11..];
+        let num: String = tail
+            .chars()
+            .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+            .collect();
+        if let Ok(v) = num.parse::<f64>() {
+            out.push((name, v));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_round_trips_and_validates() {
+        let kernels = vec![
+            KernelPerf {
+                name: "adaptation",
+                points: 1000,
+                row_ns_per_point: 1.5,
+                scalar_ns_per_point: 4.5,
+                speedup: 3.0,
+            },
+            KernelPerf {
+                name: "fft_filter",
+                points: 64,
+                row_ns_per_point: 10.0,
+                scalar_ns_per_point: 12.0,
+                speedup: 1.2,
+            },
+        ];
+        let doc = to_json("test_small", 2, 5, &kernels);
+        agcm_obs::validate_json(&doc).expect("emitted JSON must be RFC 8259 valid");
+        let speedups = parse_speedups(&doc);
+        assert_eq!(speedups.len(), 2);
+        assert_eq!(speedups[0], ("adaptation".to_string(), 3.0));
+        assert_eq!(speedups[1], ("fft_filter".to_string(), 1.2));
+    }
+
+    #[test]
+    fn measure_kernels_covers_every_operator() {
+        let perfs = measure_kernels(&ModelConfig::test_small(), 0, 1);
+        let names: Vec<_> = perfs.iter().map(|p| p.name).collect();
+        assert_eq!(
+            names,
+            [
+                "adaptation",
+                "advection",
+                "smoothing",
+                "vertical_c",
+                "fft_filter"
+            ]
+        );
+        for p in &perfs {
+            assert!(p.points > 0);
+            assert!(p.row_ns_per_point > 0.0, "{}: zero row time", p.name);
+            assert!(p.scalar_ns_per_point > 0.0, "{}: zero scalar time", p.name);
+            assert!(p.speedup > 0.0);
+        }
+    }
+}

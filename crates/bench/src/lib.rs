@@ -3,7 +3,7 @@
 //! One binary (`figures`) regenerates every table and figure of Xiao et al.
 //! (ICPP 2018) §5, and the Criterion benches under `benches/` measure the
 //! real (thread-backed) implementations at laptop scales plus the design
-//! ablations listed in `DESIGN.md` §8.
+//! ablations listed in `DESIGN.md` §9.
 //!
 //! Reproduction strategy (see `DESIGN.md` §2): the executing runtime
 //! validates the algorithms and their exact per-rank traffic at small rank
@@ -16,6 +16,7 @@ use agcm_core::analysis::{predict_step_mode, AlgKind, CaMode, StepCost};
 use agcm_core::ModelConfig;
 use agcm_mesh::ProcessGrid;
 
+pub mod kernels;
 pub mod timing;
 
 /// The rank counts of the paper's evaluation.

@@ -18,6 +18,7 @@
 
 use crate::diag::Diag;
 use crate::geometry::{LocalGeometry, Region};
+use crate::pool::{self, StateBand};
 use crate::state::State;
 use agcm_mesh::grid::constants as c;
 
@@ -33,7 +34,151 @@ const SIN_EPS: f64 = 1e-12;
 /// * `diag.dsa`, `diag.dp`, `diag.vsum`, `diag.gw` valid on `region` and
 ///   `diag.phi_p` on `region ⊕ 1` rows — i.e. [`crate::vertical::apply_c`]
 ///   has run (for the state the `C` terms should be evaluated at).
+///
+/// The 3-D sweep runs row-sliced over z-bands of the intra-rank worker pool;
+/// every point evaluates the same expression tree as the scalar reference
+/// ([`adaptation_tendency_scalar`]), so the result is bit-identical at any
+/// `AGCM_THREADS`.
 pub fn adaptation_tendency(
+    geom: &LocalGeometry,
+    arg: &State,
+    diag: &Diag,
+    tend: &mut State,
+    region: Region,
+) {
+    let (mut bands, nb) = pool::split_state_bands(
+        &mut tend.u,
+        &mut tend.v,
+        &mut tend.phi,
+        &region,
+        pool::workers_for(
+            geom.nx
+                * (region.y1 - region.y0).max(0) as usize
+                * (region.z1 - region.z0).max(0) as usize,
+        ),
+    );
+    pool::run(&mut bands[..nb], "adaptation.band", |band| {
+        adaptation_band(geom, arg, diag, band);
+    });
+
+    // ---- p'_sa equation (2-D): p₀·(κ*·D_sa − Σ Δσ D(P)) with κ* = 1 ----
+    let nx = geom.nx as isize;
+    for j in region.y0..region.y1 {
+        let r_dsa = diag.dsa.row(0, nx, j);
+        let r_vsum = diag.vsum.row(0, nx, j);
+        let out = tend.psa.row_mut(0, nx, j);
+        for (o, (&d, &v)) in out.iter_mut().zip(r_dsa.iter().zip(r_vsum)) {
+            *o = c::P_REF * (d - v);
+        }
+    }
+}
+
+/// Row-sliced adaptation sweep over one worker band.
+///
+/// Input rows are fetched once per `(j, k)` at `x ∈ [-1, nx+1)`, so the
+/// slice index of logical point `i + d` is `ii + 1 + d`; all per-`(j, k)`
+/// geometry is hoisted out of the x loop.
+fn adaptation_band(geom: &LocalGeometry, arg: &State, diag: &Diag, band: &mut StateBand<'_>) {
+    let StateBand {
+        region,
+        u: t_u,
+        v: t_v,
+        phi: t_phi,
+    } = band;
+    let nx = geom.nx as isize;
+    let a = c::EARTH_RADIUS;
+    let dl = geom.dlambda();
+    let dt = geom.dtheta();
+    let b = c::B_GRAVITY_WAVE;
+    let two_omega = 2.0 * c::EARTH_OMEGA;
+
+    for k in region.z0..region.z1 {
+        for j in region.y0..region.y1 {
+            let s_c = geom.sin_c(j);
+            let cos_c = geom.cos_c(j);
+            let s_v = geom.sin_v(j);
+            let cos_v = geom.cos_v(j);
+            let sig_lo = geom.sigma_lo(k).clamp(0.0, 1.0);
+            let sig_hi = geom.sigma_lo(k + 1).clamp(0.0, 1.0);
+            let ds = geom.dsigma(k);
+
+            let r_u = arg.u.row(-1, nx + 1, j, k);
+            let r_u_s = arg.u.row(-1, nx + 1, j + 1, k);
+            let r_v = arg.v.row(-1, nx + 1, j, k);
+            let r_v_n = arg.v.row(-1, nx + 1, j - 1, k);
+            let r_phi = arg.phi.row(-1, nx + 1, j, k);
+            let r_phi_s = arg.phi.row(-1, nx + 1, j + 1, k);
+            let r_pp = diag.phi_p.row(-1, nx + 1, j, k);
+            let r_pp_s = diag.phi_p.row(-1, nx + 1, j + 1, k);
+            let r_gw_lo = diag.gw.row(-1, nx + 1, j, k);
+            let r_gw_hi = diag.gw.row(-1, nx + 1, j, k + 1);
+            let r_dp = diag.dp.row(-1, nx + 1, j, k);
+            let r_cp = diag.cap_p.row(-1, nx + 1, j);
+            let r_cp_s = diag.cap_p.row(-1, nx + 1, j + 1);
+            let r_pes = diag.pes.row(-1, nx + 1, j);
+            let r_pes_n = diag.pes.row(-1, nx + 1, j - 1);
+            let r_pes_s = diag.pes.row(-1, nx + 1, j + 1);
+
+            let o_u = t_u.row_mut(0, nx, j, k);
+            // ---- U equation at U point (i-1/2, j, k) ----
+            for (ii, o) in o_u.iter_mut().enumerate() {
+                let q = ii + 1;
+                let p_u = 0.5 * (r_cp[q - 1] + r_cp[q]);
+                let pes_u = 0.5 * (r_pes[q - 1] + r_pes[q]);
+                let phi_u = 0.5 * (r_phi[q - 1] + r_phi[q]);
+                let p_l1 = p_u * (r_pp[q] - r_pp[q - 1]) / (a * s_c * dl);
+                let p_l2 = b * phi_u / pes_u * (r_pes[q] - r_pes[q - 1]) / (a * s_c * dl);
+                let u_phys = r_u[q] / p_u;
+                let fstar = two_omega * cos_c + u_phys * cos_c / (s_c * a);
+                let v_bar = 0.25 * (r_v[q - 1] + r_v[q] + r_v_n[q - 1] + r_v_n[q]);
+                *o = -p_l1 - p_l2 + fstar * v_bar;
+            }
+
+            // ---- V equation at V point (i, j+1/2, k) ----
+            let o_v = t_v.row_mut(0, nx, j, k);
+            if s_v < SIN_EPS {
+                o_v.fill(0.0); // pole face: V pinned
+            } else {
+                for (ii, o) in o_v.iter_mut().enumerate() {
+                    let q = ii + 1;
+                    let p_v = 0.5 * (r_cp[q] + r_cp_s[q]);
+                    let pes_v = 0.5 * (r_pes[q] + r_pes_s[q]);
+                    let phi_v = 0.5 * (r_phi[q] + r_phi_s[q]);
+                    let p_t1 = p_v * (r_pp_s[q] - r_pp[q]) / (a * dt);
+                    let p_t2 = b * phi_v / pes_v * (r_pes_s[q] - r_pes[q]) / (a * dt);
+                    let u_bar = 0.25 * (r_u[q] + r_u[q + 1] + r_u_s[q] + r_u_s[q + 1]);
+                    let u_phys = u_bar / p_v;
+                    let fstar = two_omega * cos_v + u_phys * cos_v / (s_v * a);
+                    *o = -p_t1 - p_t2 - fstar * u_bar;
+                }
+            }
+
+            // ---- Φ equation at cell centre (i, j, k) ----
+            let o_phi = t_phi.row_mut(0, nx, j, k);
+            for (ii, o) in o_phi.iter_mut().enumerate() {
+                let q = ii + 1;
+                let p = r_cp[q];
+                let pes = r_pes[q];
+                let gw_lo = r_gw_lo[q];
+                let gw_hi = r_gw_hi[q];
+                let gw_c = 0.5 * (gw_lo + gw_hi);
+                let dpw_dsig = (gw_hi * sig_hi - gw_lo * sig_lo) / ds;
+                let omega1 = (gw_c - r_dp[q] - dpw_dsig) / p;
+                let v_c = 0.5 * (r_v[q] + r_v_n[q]);
+                let omega_t2 = v_c / pes * (r_pes_s[q] - r_pes_n[q]) / (2.0 * a * dt);
+                let u_c = 0.5 * (r_u[q] + r_u[q + 1]);
+                let omega_l2 = u_c / pes * (r_pes[q + 1] - r_pes[q - 1]) / (2.0 * a * s_c * dl);
+                *o = b * (omega1 + omega_t2 + omega_l2);
+            }
+        }
+    }
+}
+
+/// Scalar per-point reference implementation (the pre-row-API kernel),
+/// retained verbatim as the golden reference for the bitwise-equivalence
+/// property tests.
+#[cfg(any(test, feature = "scalar-ref"))]
+pub fn adaptation_tendency_scalar(
     geom: &LocalGeometry,
     arg: &State,
     diag: &Diag,

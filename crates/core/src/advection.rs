@@ -18,6 +18,7 @@
 
 use crate::diag::Diag;
 use crate::geometry::{LocalGeometry, Region};
+use crate::pool::{self, StateBand};
 use crate::state::State;
 use agcm_mesh::grid::constants as c;
 
@@ -30,7 +31,186 @@ const SIN_EPS: f64 = 1e-12;
 /// (frozen from the adaptation process; exchanged alongside ξ by the CA
 /// algorithm's advection message).  `tend.psa` is set to zero — the paper's
 /// `L̃` has a zero fourth component.
+///
+/// Row-sliced and banded over the intra-rank worker pool; bit-identical to
+/// [`advection_tendency_scalar`] at any `AGCM_THREADS`.
 pub fn advection_tendency(
+    geom: &LocalGeometry,
+    arg: &State,
+    diag: &Diag,
+    tend: &mut State,
+    region: Region,
+) {
+    let (mut bands, nb) = pool::split_state_bands(
+        &mut tend.u,
+        &mut tend.v,
+        &mut tend.phi,
+        &region,
+        pool::workers_for(
+            geom.nx
+                * (region.y1 - region.y0).max(0) as usize
+                * (region.z1 - region.z0).max(0) as usize,
+        ),
+    );
+    pool::run(&mut bands[..nb], "advection.band", |band| {
+        advection_band(geom, arg, diag, band);
+    });
+
+    // L̃'s fourth component is zero
+    let nx = geom.nx as isize;
+    for j in region.y0..region.y1 {
+        tend.psa.row_mut(0, nx, j).fill(0.0);
+    }
+}
+
+/// Row-sliced advection sweep over one worker band.
+///
+/// Input rows are fetched once per `(j, k)` at `x ∈ [-2, nx+1)` (the L1
+/// terms reach two points west through the staggered physical velocities),
+/// so the slice index of logical point `i + d` is `ii + 2 + d`.
+fn advection_band(geom: &LocalGeometry, arg: &State, diag: &Diag, band: &mut StateBand<'_>) {
+    let StateBand {
+        region,
+        u: t_u,
+        v: t_v,
+        phi: t_phi,
+    } = band;
+    let nx = geom.nx as isize;
+    let a = c::EARTH_RADIUS;
+    let dl = geom.dlambda();
+    let dt = geom.dtheta();
+
+    for k in region.z0..region.z1 {
+        let ds = geom.dsigma(k);
+        for j in region.y0..region.y1 {
+            let s_c = geom.sin_c(j);
+            let s_v = geom.sin_v(j);
+            let sv_j = geom.sin_v(j);
+            let sv_n = geom.sin_v(j - 1);
+            let sc_s = geom.sin_c(j + 1);
+
+            let r_u = arg.u.row(-2, nx + 1, j, k);
+            let r_u_s = arg.u.row(-2, nx + 1, j + 1, k);
+            let r_u_n = arg.u.row(-2, nx + 1, j - 1, k);
+            let r_u_kl = arg.u.row(-2, nx + 1, j, k - 1);
+            let r_u_kh = arg.u.row(-2, nx + 1, j, k + 1);
+            let r_v = arg.v.row(-2, nx + 1, j, k);
+            let r_v_s = arg.v.row(-2, nx + 1, j + 1, k);
+            let r_v_n = arg.v.row(-2, nx + 1, j - 1, k);
+            let r_v_kl = arg.v.row(-2, nx + 1, j, k - 1);
+            let r_v_kh = arg.v.row(-2, nx + 1, j, k + 1);
+            let r_f = arg.phi.row(-2, nx + 1, j, k);
+            let r_f_s = arg.phi.row(-2, nx + 1, j + 1, k);
+            let r_f_n = arg.phi.row(-2, nx + 1, j - 1, k);
+            let r_f_kl = arg.phi.row(-2, nx + 1, j, k - 1);
+            let r_f_kh = arg.phi.row(-2, nx + 1, j, k + 1);
+            let r_cp = diag.cap_p.row(-2, nx + 1, j);
+            let r_cp_s = diag.cap_p.row(-2, nx + 1, j + 1);
+            let r_cp_n = diag.cap_p.row(-2, nx + 1, j - 1);
+            let r_pes = diag.pes.row(-2, nx + 1, j);
+            let r_pes_s = diag.pes.row(-2, nx + 1, j + 1);
+            let r_gw = diag.gw.row(-2, nx + 1, j, k);
+            let r_gw_h = diag.gw.row(-2, nx + 1, j, k + 1);
+            let r_gw_s = diag.gw.row(-2, nx + 1, j + 1, k);
+            let r_gw_s_h = diag.gw.row(-2, nx + 1, j + 1, k + 1);
+
+            // physical velocities at slice index p (logical x = p - 2) and
+            // σ̇ at the interfaces — same expression trees as the scalar
+            // reference's `u_at`/`v_at`/`sdot_at`
+            let ua = |p: usize| r_u[p] / (0.5 * (r_cp[p - 1] + r_cp[p]));
+            let ua_s = |p: usize| r_u_s[p] / (0.5 * (r_cp_s[p - 1] + r_cp_s[p]));
+            let va = |p: usize| r_v[p] / (0.5 * (r_cp[p] + r_cp_s[p]));
+            let va_n = |p: usize| r_v_n[p] / (0.5 * (r_cp_n[p] + r_cp[p]));
+            let sd = |p: usize| r_gw[p] * c::P_REF / r_pes[p];
+            let sd_h = |p: usize| r_gw_h[p] * c::P_REF / r_pes[p];
+            let sd_s = |p: usize| r_gw_s[p] * c::P_REF / r_pes_s[p];
+            let sd_s_h = |p: usize| r_gw_s_h[p] * c::P_REF / r_pes_s[p];
+
+            // =============== U (at U point i-1/2, j, k) ===============
+            let o_u = t_u.row_mut(0, nx, j, k);
+            for (ii, o) in o_u.iter_mut().enumerate() {
+                let q = ii + 2;
+                let f = r_u[q];
+                let uc_e = 0.5 * (ua(q) + ua(q + 1));
+                let uc_w = 0.5 * (ua(q - 1) + ua(q));
+                let fc_e = 0.5 * (r_u[q] + r_u[q + 1]);
+                let fc_w = 0.5 * (r_u[q - 1] + r_u[q]);
+                let l1 =
+                    (2.0 * (fc_e * uc_e - fc_w * uc_w) - f * (uc_e - uc_w)) / (2.0 * a * s_c * dl);
+                let vs_s = 0.5 * (va(q - 1) + va(q)) * sv_j;
+                let vs_n = 0.5 * (va_n(q - 1) + va_n(q)) * sv_n;
+                let ff_s = 0.5 * (r_u[q] + r_u_s[q]);
+                let ff_n = 0.5 * (r_u_n[q] + r_u[q]);
+                let l2 =
+                    (2.0 * (ff_s * vs_s - ff_n * vs_n) - f * (vs_s - vs_n)) / (2.0 * a * s_c * dt);
+                let sd_lo = 0.5 * (sd(q - 1) + sd(q));
+                let sd_hi = 0.5 * (sd_h(q - 1) + sd_h(q));
+                let fk_lo = 0.5 * (r_u_kl[q] + r_u[q]);
+                let fk_hi = 0.5 * (r_u[q] + r_u_kh[q]);
+                let l3 = (2.0 * (fk_hi * sd_hi - fk_lo * sd_lo) - f * (sd_hi - sd_lo)) / (2.0 * ds);
+                *o = -(l1 + l2 + l3);
+            }
+
+            // =============== V (at V point i, j+1/2, k) ===============
+            let o_v = t_v.row_mut(0, nx, j, k);
+            if s_v < SIN_EPS {
+                o_v.fill(0.0);
+            } else {
+                for (ii, o) in o_v.iter_mut().enumerate() {
+                    let q = ii + 2;
+                    let f = r_v[q];
+                    let ux_e = 0.5 * (ua(q + 1) + ua_s(q + 1));
+                    let ux_w = 0.5 * (ua(q) + ua_s(q));
+                    let fx_e = 0.5 * (r_v[q] + r_v[q + 1]);
+                    let fx_w = 0.5 * (r_v[q - 1] + r_v[q]);
+                    let l1 = (2.0 * (fx_e * ux_e - fx_w * ux_w) - f * (ux_e - ux_w))
+                        / (2.0 * a * s_v * dl);
+                    let vs_s = 0.5 * (r_v[q] + r_v_s[q]) / r_cp_s[q] * sc_s;
+                    let vs_n = 0.5 * (r_v_n[q] + r_v[q]) / r_cp[q] * s_c;
+                    let ff_s = 0.5 * (r_v[q] + r_v_s[q]);
+                    let ff_n = 0.5 * (r_v_n[q] + r_v[q]);
+                    let l2 = (2.0 * (ff_s * vs_s - ff_n * vs_n) - f * (vs_s - vs_n))
+                        / (2.0 * a * s_v * dt);
+                    let sd_lo = 0.5 * (sd(q) + sd_s(q));
+                    let sd_hi = 0.5 * (sd_h(q) + sd_s_h(q));
+                    let fk_lo = 0.5 * (r_v_kl[q] + r_v[q]);
+                    let fk_hi = 0.5 * (r_v[q] + r_v_kh[q]);
+                    let l3 =
+                        (2.0 * (fk_hi * sd_hi - fk_lo * sd_lo) - f * (sd_hi - sd_lo)) / (2.0 * ds);
+                    *o = -(l1 + l2 + l3);
+                }
+            }
+
+            // =============== Φ (at cell centre i, j, k) ===============
+            let o_phi = t_phi.row_mut(0, nx, j, k);
+            for (ii, o) in o_phi.iter_mut().enumerate() {
+                let q = ii + 2;
+                let f = r_f[q];
+                let u_e = ua(q + 1);
+                let u_w = ua(q);
+                let fx_e = 0.5 * (r_f[q] + r_f[q + 1]);
+                let fx_w = 0.5 * (r_f[q - 1] + r_f[q]);
+                let l1 = (2.0 * (fx_e * u_e - fx_w * u_w) - f * (u_e - u_w)) / (2.0 * a * s_c * dl);
+                let v_s = va(q) * sv_j;
+                let v_n = va_n(q) * sv_n;
+                let fy_s = 0.5 * (r_f[q] + r_f_s[q]);
+                let fy_n = 0.5 * (r_f_n[q] + r_f[q]);
+                let l2 = (2.0 * (fy_s * v_s - fy_n * v_n) - f * (v_s - v_n)) / (2.0 * a * s_c * dt);
+                let sd_lo = sd(q);
+                let sd_hi = sd_h(q);
+                let fk_lo = 0.5 * (r_f_kl[q] + r_f[q]);
+                let fk_hi = 0.5 * (r_f[q] + r_f_kh[q]);
+                let l3 = (2.0 * (fk_hi * sd_hi - fk_lo * sd_lo) - f * (sd_hi - sd_lo)) / (2.0 * ds);
+                *o = -(l1 + l2 + l3);
+            }
+        }
+    }
+}
+
+/// Scalar per-point reference implementation, retained verbatim as the
+/// golden reference for the bitwise-equivalence property tests.
+#[cfg(any(test, feature = "scalar-ref"))]
+pub fn advection_tendency_scalar(
     geom: &LocalGeometry,
     arg: &State,
     diag: &Diag,

@@ -37,6 +37,29 @@ pub struct Diag {
     pub gw: Field3,
     /// Geopotential deviation `φ'` at level centres (3-D).
     pub phi_p: Field3,
+    /// Reusable scratch for [`crate::vertical::apply_c`]'s column sums —
+    /// kept here so steady-state stepping allocates nothing.
+    pub(crate) zscratch: ZScratch,
+}
+
+/// Column-sum scratch buffers for the `C` operator.  Pulled out of [`Diag`]
+/// with `mem::take` for the duration of an `apply_c` call (disjoint-borrow
+/// convenience) and put back afterwards, so the capacity is reused across
+/// steps.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct ZScratch {
+    /// Per-column block sums (dp rows then φ'-integrand rows).
+    pub sums: Vec<f64>,
+    /// Σ of blocks on lower-k ranks.
+    pub prefix: Vec<f64>,
+    /// Σ of blocks on higher-k ranks.
+    pub suffix: Vec<f64>,
+    /// Σ over all ranks.
+    pub total: Vec<f64>,
+    /// Running per-row accumulator for the interface walks.
+    pub run: Vec<f64>,
+    /// Per-row integrand values `c_k` for the φ' walk.
+    pub ck: Vec<f64>,
 }
 
 impl Diag {
@@ -52,6 +75,7 @@ impl Diag {
             vsum: Field2::new(nx, ny, h),
             gw: Field3::new(nx, ny, nz + 1, h),
             phi_p: Field3::new(nx, ny, nz, h),
+            zscratch: ZScratch::default(),
         }
     }
 

@@ -19,7 +19,7 @@ use crate::state::State;
 use crate::stdatm::StandardAtmosphere;
 use crate::vertical::{apply_c, ZContext};
 use agcm_comm::{CommResult, Communicator};
-use agcm_fft::FourierFilter;
+use agcm_fft::{FilterScratch, FourierFilter};
 use agcm_obs as obs;
 
 /// How the Fourier filtering `F̃` runs for this rank.
@@ -44,6 +44,9 @@ pub struct Engine {
     pub filter: FourierFilter,
     /// Diagnostics / C-output cache.
     pub diag: Diag,
+    /// Reusable FFT buffers for the local filter path (zero steady-state
+    /// allocation).
+    fscratch: FilterScratch,
     /// Whether `diag.{vsum, gw, phi_p}` hold valid (possibly stale) values.
     pub c_cached: bool,
     /// Whether this rank owns full longitude circles (enables the local
@@ -63,6 +66,7 @@ impl Engine {
             stdatm,
             filter,
             diag,
+            fscratch: FilterScratch::new(),
             c_cached: false,
             px1,
         }
@@ -87,7 +91,7 @@ impl Engine {
         let _f = obs::span_phase(obs::SpanKind::Op, obs::Phase::F, "filter");
         match fctx {
             FilterCtx::Local => {
-                filter_state_local(&self.geom, &self.filter, tend, region);
+                filter_state_local(&self.geom, &self.filter, tend, region, &mut self.fscratch);
                 Ok(())
             }
             FilterCtx::Distributed(xc) => {

@@ -10,7 +10,7 @@
 use crate::geometry::{LocalGeometry, Region};
 use crate::state::State;
 use agcm_comm::{CommResult, Communicator};
-use agcm_fft::{filter_rows_distributed, FourierFilter};
+use agcm_fft::{filter_rows_distributed, FilterScratch, FourierFilter};
 
 /// Build the filter for the global grid of `geom`, with damping profiles at
 /// this rank's (and its halo's) latitude rows.  Row indexing of the
@@ -39,12 +39,14 @@ fn filter_row(geom: &LocalGeometry, jl: isize) -> usize {
 
 /// Filter a state in place on `region` — the local (`p_x = 1`) path.
 /// Each `(j, k)` row of the 3-D components and each `j` row of `p'_sa` is
-/// transformed, damped and transformed back.
+/// transformed, damped and transformed back.  `scratch` holds the reusable
+/// FFT buffers; steady-state calls allocate nothing.
 pub fn filter_state_local(
     geom: &LocalGeometry,
     filter: &FourierFilter,
     state: &mut State,
     region: Region,
+    scratch: &mut FilterScratch,
 ) {
     let nx = geom.nx as isize;
     for k in region.z0..region.z1 {
@@ -55,14 +57,14 @@ pub fn filter_state_local(
             }
             for f in [&mut state.u, &mut state.v, &mut state.phi] {
                 let row = f.row_mut(0, nx, j, k);
-                filter.apply_row(gj, row);
+                filter.apply_row_with(gj, row, scratch);
             }
         }
     }
     for j in region.y0..region.y1 {
         let gj = filter_row(geom, j);
         if filter.is_active(gj) {
-            filter.apply_row(gj, state.psa.row_mut(0, nx, j));
+            filter.apply_row_with(gj, state.psa.row_mut(0, nx, j), scratch);
         }
     }
 }
@@ -169,7 +171,13 @@ mod tests {
         let mut st = State::new(geom.nx, geom.ny, geom.nz, geom.halo);
         fill(&mut st, &geom, 0);
         let before = st.clone();
-        filter_state_local(&geom, &filter, &mut st, geom.interior());
+        filter_state_local(
+            &geom,
+            &filter,
+            &mut st,
+            geom.interior(),
+            &mut FilterScratch::new(),
+        );
         // equatorial rows untouched
         let jm = geom.ny as isize / 2;
         for i in 0..geom.nx as isize {
@@ -195,7 +203,13 @@ mod tests {
         let filter = build_filter(&sgeom, cfg.filter_cutoff_deg);
         let mut sref = State::new(sgeom.nx, sgeom.ny, sgeom.nz, sgeom.halo);
         fill(&mut sref, &sgeom, 0);
-        filter_state_local(&sgeom, &filter, &mut sref, sgeom.interior());
+        filter_state_local(
+            &sgeom,
+            &filter,
+            &mut sref,
+            sgeom.interior(),
+            &mut FilterScratch::new(),
+        );
 
         // X-Y decomposition with px = 2 (py = 1): x-axis comm is the world
         let results = Universe::run(2, |comm| {

@@ -19,8 +19,11 @@ pub mod error;
 pub mod filterop;
 pub mod forcing;
 pub mod geometry;
+#[cfg(test)]
+mod golden;
 pub mod init;
 pub mod par;
+pub mod pool;
 pub mod resilience;
 pub mod serial;
 pub mod smoothing;

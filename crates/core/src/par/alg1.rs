@@ -41,6 +41,7 @@ pub struct Alg1Model {
     depth_smooth: HaloWidths,
     // scratch
     psi: State,
+    base: State,
     eta1: State,
     eta2: State,
     mid: State,
@@ -95,6 +96,7 @@ impl Alg1Model {
         let depth_smooth = super::schedule::depth_smooth();
         Ok(Alg1Model {
             psi: scratch(),
+            base: scratch(),
             eta1: scratch(),
             eta2: scratch(),
             mid: scratch(),
@@ -188,7 +190,7 @@ impl Alg1Model {
         // ---- adaptation ----
         for _ in 0..m {
             let _iter = obs::span(obs::SpanKind::Iter, "adaptation.iter");
-            let base = self.psi.clone();
+            self.base.copy_from(&self.psi);
             // sub-update 1
             self.exchanger
                 .exchange(comm, self.depth_sweep, &mut state_fields(&mut self.psi))?;
@@ -202,7 +204,7 @@ impl Alg1Model {
                     None => FilterCtx::Local,
                 };
                 self.engine.adaptation_subupdate(
-                    &base,
+                    &self.base,
                     &mut self.psi,
                     &mut self.eta1,
                     &mut self.tend,
@@ -226,7 +228,7 @@ impl Alg1Model {
                     None => FilterCtx::Local,
                 };
                 self.engine.adaptation_subupdate(
-                    &base,
+                    &self.base,
                     &mut self.eta1,
                     &mut self.eta2,
                     &mut self.tend,
@@ -238,7 +240,7 @@ impl Alg1Model {
                 )?;
             }
             // sub-update 3 (midpoint)
-            self.mid.midpoint_on(&base, &self.eta2, &region);
+            self.mid.midpoint_on(&self.base, &self.eta2, &region);
             self.exchanger
                 .exchange(comm, self.depth_sweep, &mut state_fields(&mut self.mid))?;
             {
@@ -250,11 +252,12 @@ impl Alg1Model {
                     Some(x) => FilterCtx::Distributed(x),
                     None => FilterCtx::Local,
                 };
-                let mut eta3 = std::mem::replace(&mut self.eta1, State::like(&base));
+                // η₃ lands directly in eta1 — the old mem::replace
+                // placeholder was never read (bitwise-identical result)
                 self.engine.adaptation_subupdate(
-                    &base,
+                    &self.base,
                     &mut self.mid,
-                    &mut eta3,
+                    &mut self.eta1,
                     &mut self.tend,
                     region,
                     dt1,
@@ -262,13 +265,12 @@ impl Alg1Model {
                     &zctx,
                     &fctx,
                 )?;
-                self.psi.assign(&eta3);
-                self.eta1 = eta3;
+                self.psi.assign(&self.eta1);
             }
         }
 
         // ---- advection (frozen g_w must travel with the first exchange) --
-        let base = self.psi.clone();
+        self.base.copy_from(&self.psi);
         {
             let mut fields = [
                 ExField::F3(&mut self.psi.u),
@@ -296,7 +298,7 @@ impl Alg1Model {
         {
             let f = fctx!();
             self.engine.advection_subupdate(
-                &base,
+                &self.base,
                 &mut self.psi,
                 &mut self.eta1,
                 &mut self.tend,
@@ -310,7 +312,7 @@ impl Alg1Model {
         {
             let f = fctx!();
             self.engine.advection_subupdate(
-                &base,
+                &self.base,
                 &mut self.eta1,
                 &mut self.eta2,
                 &mut self.tend,
@@ -319,22 +321,20 @@ impl Alg1Model {
                 &f,
             )?;
         }
-        self.mid.midpoint_on(&base, &self.eta2, &region);
+        self.mid.midpoint_on(&self.base, &self.eta2, &region);
         self.exchanger
             .exchange(comm, self.depth_sweep, &mut state_fields(&mut self.mid))?;
         {
             let f = fctx!();
-            let mut zeta3 = std::mem::replace(&mut self.eta1, State::like(&base));
             self.engine.advection_subupdate(
-                &base,
+                &self.base,
                 &mut self.mid,
-                &mut zeta3,
+                &mut self.eta1,
                 &mut self.tend,
                 region,
                 dt2,
                 &f,
             )?;
-            self.eta1 = zeta3;
         }
 
         // ---- physics, then smoothing with its own exchange ----

@@ -66,6 +66,7 @@ pub struct CaModel {
     // scratch
     psi: State,
     psi0: State,
+    base: State,
     eta1: State,
     eta2: State,
     mid: State,
@@ -129,6 +130,7 @@ impl CaModel {
         Ok(CaModel {
             psi: scratch(),
             psi0: scratch(),
+            base: scratch(),
             eta1: scratch(),
             eta2: scratch(),
             mid: scratch(),
@@ -402,7 +404,7 @@ impl CaModel {
                 self.group_exchange(comm)?;
                 valid = g;
             }
-            let base = self.psi.clone();
+            self.base.copy_from(&self.psi);
             // degraded mode disables the Eq. 13 reuse: every sub-update
             // recomputes C(ψ^{i-1}) exactly
             let fresh1 = !self.engine.c_cached || self.degraded;
@@ -414,7 +416,7 @@ impl CaModel {
                     None => ZContext::Serial,
                 };
                 self.engine.adaptation_subupdate(
-                    &base,
+                    &self.base,
                     &mut self.psi,
                     &mut self.eta1,
                     &mut self.tend,
@@ -444,7 +446,7 @@ impl CaModel {
                     None => ZContext::Serial,
                 };
                 self.engine.adaptation_subupdate(
-                    &base,
+                    &self.base,
                     &mut self.eta1,
                     &mut self.eta2,
                     &mut self.tend,
@@ -463,7 +465,7 @@ impl CaModel {
             } else {
                 dil(valid as isize - 2)
             };
-            self.mid.midpoint_on(&base, &self.eta2, &mid_region);
+            self.mid.midpoint_on(&self.base, &self.eta2, &mid_region);
             if g == 1 {
                 self.exchanger.exchange(
                     comm,
@@ -481,11 +483,12 @@ impl CaModel {
                     Some(z) => ZContext::Parallel(z),
                     None => ZContext::Serial,
                 };
-                let mut eta3 = std::mem::replace(&mut self.eta1, State::like(&base));
+                // η₃ lands directly in eta1 — the old mem::replace
+                // placeholder was never read (bitwise-identical result)
                 self.engine.adaptation_subupdate(
-                    &base,
+                    &self.base,
                     &mut self.mid,
-                    &mut eta3,
+                    &mut self.eta1,
                     &mut self.tend,
                     region3,
                     dt1,
@@ -493,8 +496,7 @@ impl CaModel {
                     &zctx,
                     &FilterCtx::Local,
                 )?;
-                self.psi.assign_on(&eta3, &region3);
-                self.eta1 = eta3;
+                self.psi.assign_on(&self.eta1, &region3);
             }
             valid = valid.saturating_sub(3);
         }
@@ -502,9 +504,9 @@ impl CaModel {
         // ================ advection: grouped the same way ==================
         self.engine.fill(&mut self.psi);
         // ψM's halos are stale until the exchange lands; the inner overlap
-        // sweep only touches interior rows, so a pre-exchange clone serves
+        // sweep only touches interior rows, so a pre-exchange copy serves
         // as its base, refreshed once the halos arrive
-        let mut base = self.psi.clone();
+        self.base.copy_from(&self.psi);
         let pending: Pending = {
             let mut fields = [
                 ExField::F3(&mut self.psi.u),
@@ -524,7 +526,7 @@ impl CaModel {
             // window (§4.3.1)
             let _ov = obs::span(obs::SpanKind::OverlapCompute, "overlap.advection_inner");
             self.engine.advection_subupdate(
-                &base,
+                &self.base,
                 &mut self.psi,
                 &mut self.eta1,
                 &mut self.tend,
@@ -544,12 +546,12 @@ impl CaModel {
             self.exchanger.finish_recvs(comm, pending, &mut fields)?;
         }
         self.engine.diag.gw.wrap_x_halo();
-        base = self.psi.clone();
+        self.base.copy_from(&self.psi);
         if self.degraded {
             // blocking mode: the inner sweep runs after the exchange closes
             // (no compute inside the communication window)
             self.engine.advection_subupdate(
-                &base,
+                &self.base,
                 &mut self.psi,
                 &mut self.eta1,
                 &mut self.tend,
@@ -560,7 +562,7 @@ impl CaModel {
         }
         for strip in frame(&outer1, &inner1) {
             self.engine.advection_subupdate(
-                &base,
+                &self.base,
                 &mut self.psi,
                 &mut self.eta1,
                 &mut self.tend,
@@ -591,7 +593,7 @@ impl CaModel {
             z1: region2.z1.min(interior.z1 + 1),
         };
         self.engine.advection_subupdate(
-            &base,
+            &self.base,
             &mut self.eta1,
             &mut self.eta2,
             &mut self.tend,
@@ -601,7 +603,7 @@ impl CaModel {
         )?;
         valida = valida.saturating_sub(1);
         // sweep 3 (midpoint)
-        self.mid.midpoint_on(&base, &self.eta2, &region2);
+        self.mid.midpoint_on(&self.base, &self.eta2, &region2);
         if valida == 0 {
             let mut fields = [
                 ExField::F3(&mut self.mid.u),
@@ -613,19 +615,15 @@ impl CaModel {
             self.exchanger.exchange(comm, self.shallow, &mut fields)?;
             self.engine.diag.gw.wrap_x_halo();
         }
-        {
-            let mut zeta3 = std::mem::replace(&mut self.eta1, State::like(&base));
-            self.engine.advection_subupdate(
-                &base,
-                &mut self.mid,
-                &mut zeta3,
-                &mut self.tend,
-                interior,
-                dt2,
-                &FilterCtx::Local,
-            )?;
-            self.eta1 = zeta3;
-        }
+        self.engine.advection_subupdate(
+            &self.base,
+            &mut self.mid,
+            &mut self.eta1,
+            &mut self.tend,
+            interior,
+            dt2,
+            &FilterCtx::Local,
+        )?;
 
         // ================= physics; smoothing deferred =====================
         self.engine.apply_forcing(&mut self.eta1, interior);

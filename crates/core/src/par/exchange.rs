@@ -66,6 +66,17 @@ pub struct HaloExchanger {
     /// (resilient mode; off by default so certified traffic is unchanged).
     framed: bool,
     retry: RetryPolicy,
+    /// Memoized exchange plans keyed by `(depth, extents)` — a step cycles
+    /// through a handful of depths, so plans are built once and reused.
+    plans: Vec<CachedPlan>,
+    /// Reusable pack staging buffer (zero steady-state allocation).
+    pack_buf: Vec<f64>,
+}
+
+struct CachedPlan {
+    depth: HaloWidths,
+    extents: (usize, usize, usize),
+    plan: ExchangePlan,
 }
 
 /// Direction-of-travel index for a neighbour offset, `0..27`.  Both sides of
@@ -95,6 +106,8 @@ impl HaloExchanger {
             exchanges: 0,
             framed: false,
             retry: RetryPolicy::default(),
+            plans: Vec::new(),
+            pack_buf: Vec::new(),
         }
     }
 
@@ -122,8 +135,24 @@ impl HaloExchanger {
         self.seq = epoch << 12;
     }
 
-    fn plan_for(&self, depth: HaloWidths, extents: (usize, usize, usize)) -> ExchangePlan {
-        ExchangePlan::with_extents(&self.decomp, self.rank, depth, extents)
+    /// Index of the memoized plan for `(depth, extents)`, building it on
+    /// first use.  Linear scan: a run uses at most a handful of distinct
+    /// keys (sweep/group/smooth depths × field shapes).
+    fn plan_idx(&mut self, depth: HaloWidths, extents: (usize, usize, usize)) -> usize {
+        if let Some(i) = self
+            .plans
+            .iter()
+            .position(|c| c.depth == depth && c.extents == extents)
+        {
+            return i;
+        }
+        let plan = ExchangePlan::with_extents(&self.decomp, self.rank, depth, extents);
+        self.plans.push(CachedPlan {
+            depth,
+            extents,
+            plan,
+        });
+        self.plans.len() - 1
     }
 
     fn field_extents(f: &ExField<'_>) -> (usize, usize, usize) {
@@ -148,38 +177,45 @@ impl HaloExchanger {
         let seq = self.seq;
         self.seq += 1;
         let mut span = obs::span(obs::SpanKind::ExchangePost, "halo.post");
-        let mut buf = Vec::new();
-        for (fi, f) in fields.iter_mut().enumerate() {
-            let plan = self.plan_for(depth, Self::field_extents(f));
-            for spec in plan.specs() {
-                let is2d = matches!(f, ExField::F2(_));
-                if is2d && spec.link.offset.2 != 0 {
-                    continue;
-                }
-                buf.clear();
-                match f {
-                    ExField::F3(f3) => {
-                        f3.pack_box(
-                            spec.send.x.clone(),
-                            spec.send.y.clone(),
-                            spec.send.z.clone(),
-                            &mut buf,
-                        );
+        // pull the staging buffer out so the memoized plan can stay borrowed
+        // while packing; restored below even on error
+        let mut buf = std::mem::take(&mut self.pack_buf);
+        let res = (|| -> CommResult<()> {
+            for (fi, f) in fields.iter_mut().enumerate() {
+                let pi = self.plan_idx(depth, Self::field_extents(f));
+                let plan = &self.plans[pi].plan;
+                for spec in plan.specs() {
+                    let is2d = matches!(f, ExField::F2(_));
+                    if is2d && spec.link.offset.2 != 0 {
+                        continue;
                     }
-                    ExField::F2(f2) => {
-                        f2.pack_box(spec.send.x.clone(), spec.send.y.clone(), &mut buf);
+                    buf.clear();
+                    match f {
+                        ExField::F3(f3) => {
+                            f3.pack_box(
+                                spec.send.x.clone(),
+                                spec.send.y.clone(),
+                                spec.send.z.clone(),
+                                &mut buf,
+                            );
+                        }
+                        ExField::F2(f2) => {
+                            f2.pack_box(spec.send.x.clone(), spec.send.y.clone(), &mut buf);
+                        }
                     }
-                }
-                let t = wire_tag(seq, dir_index(spec.link.offset), fi);
-                span.add_bytes(8 * buf.len() as u64);
-                if self.framed {
-                    comm.send_framed(spec.link.rank, t, &buf)?;
-                } else {
-                    comm.send(spec.link.rank, t, &buf)?;
+                    let t = wire_tag(seq, dir_index(spec.link.offset), fi);
+                    span.add_bytes(8 * buf.len() as u64);
+                    if self.framed {
+                        comm.send_framed(spec.link.rank, t, &buf)?;
+                    } else {
+                        comm.send(spec.link.rank, t, &buf)?;
+                    }
                 }
             }
-        }
-        Ok(Pending { seq, depth })
+            Ok(())
+        })();
+        self.pack_buf = buf;
+        res.map(|()| Pending { seq, depth })
     }
 
     /// Receive and unpack every message of a pending exchange.  `fields`
@@ -195,7 +231,8 @@ impl HaloExchanger {
         // counts them (one finish_recvs == one communication)
         let mut span = obs::span(obs::SpanKind::ExchangeWait, "halo.wait");
         for (fi, f) in fields.iter_mut().enumerate() {
-            let plan = self.plan_for(pending.depth, Self::field_extents(f));
+            let pi = self.plan_idx(pending.depth, Self::field_extents(f));
+            let plan = &self.plans[pi].plan;
             for spec in plan.specs() {
                 let is2d = matches!(f, ExField::F2(_));
                 if is2d && spec.link.offset.2 != 0 {
@@ -474,6 +511,19 @@ mod tests {
         assert!(results.into_iter().all(|b| b));
     }
 
+    /// FNV-1a over the raw f64 bits — cheap bitwise fingerprint so the test
+    /// below compares whole fields without cloning them out of each rank.
+    fn fnv1a_bits(data: &[f64]) -> u64 {
+        let mut h = 0xcbf29ce484222325u64;
+        for v in data {
+            for b in v.to_bits().to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100000001b3);
+            }
+        }
+        h
+    }
+
     #[test]
     fn framed_exchange_is_bitwise_identical_and_counts_match() {
         // the resilient (framed) exchange must move exactly the same data
@@ -498,7 +548,7 @@ mod tests {
                 ex.set_framed(framed);
                 let mut fields = [ExField::F3(&mut f)];
                 ex.exchange(comm, h, &mut fields).unwrap();
-                (f.raw().to_vec(), comm.stats().snapshot())
+                (fnv1a_bits(f.raw()), comm.stats().snapshot())
             })
         };
         let plain = run(false);

@@ -42,6 +42,7 @@ pub struct SerialModel {
     pub steps: usize,
     // scratch
     psi: State,
+    base: State,
     eta1: State,
     eta2: State,
     mid: State,
@@ -62,6 +63,7 @@ impl SerialModel {
         let scratch = || State::like(&state);
         Ok(SerialModel {
             psi: scratch(),
+            base: scratch(),
             eta1: scratch(),
             eta2: scratch(),
             mid: scratch(),
@@ -142,10 +144,13 @@ impl SerialModel {
                 Iteration::Approximate => !self.engine.c_cached,
             };
             self.eta1.assign(&self.psi);
-            let base = self.psi.clone();
+            // persistent scratch instead of a per-iteration clone: halos
+            // matter (subupdates read base through lincomb only on `region`,
+            // but copy_from carries them anyway, matching the old clone)
+            self.base.copy_from(&self.psi);
             self.engine
                 .adaptation_subupdate(
-                    &base,
+                    &self.base,
                     &mut self.psi,
                     &mut self.eta1,
                     &mut self.tend,
@@ -158,7 +163,7 @@ impl SerialModel {
                 .expect("serial subupdate cannot fail");
             self.engine
                 .adaptation_subupdate(
-                    &base,
+                    &self.base,
                     &mut self.eta1,
                     &mut self.eta2,
                     &mut self.tend,
@@ -169,13 +174,15 @@ impl SerialModel {
                     &fctx,
                 )
                 .expect("serial subupdate cannot fail");
-            self.mid.midpoint_on(&base, &self.eta2, &region);
-            let mut eta3 = std::mem::replace(&mut self.eta1, State::like(&base));
+            self.mid.midpoint_on(&self.base, &self.eta2, &region);
+            // η₃ lands directly in eta1 (the old mem::replace placeholder
+            // was never read, and eta1's out-of-region content is what the
+            // swapped-out η₃ buffer held — bitwise the same result)
             self.engine
                 .adaptation_subupdate(
-                    &base,
+                    &self.base,
                     &mut self.mid,
-                    &mut eta3,
+                    &mut self.eta1,
                     &mut self.tend,
                     region,
                     dt1,
@@ -184,15 +191,14 @@ impl SerialModel {
                     &fctx,
                 )
                 .expect("serial subupdate cannot fail");
-            self.psi.assign(&eta3);
-            self.eta1 = eta3;
+            self.psi.assign(&self.eta1);
         }
 
         // ---- advection: one nonlinear iteration with Δt₂ ----------------
-        let base = self.psi.clone();
+        self.base.copy_from(&self.psi);
         self.engine
             .advection_subupdate(
-                &base,
+                &self.base,
                 &mut self.psi,
                 &mut self.eta1,
                 &mut self.tend,
@@ -203,7 +209,7 @@ impl SerialModel {
             .expect("serial subupdate cannot fail");
         self.engine
             .advection_subupdate(
-                &base,
+                &self.base,
                 &mut self.eta1,
                 &mut self.eta2,
                 &mut self.tend,
@@ -212,20 +218,18 @@ impl SerialModel {
                 &fctx,
             )
             .expect("serial subupdate cannot fail");
-        self.mid.midpoint_on(&base, &self.eta2, &region);
-        let mut zeta3 = std::mem::replace(&mut self.eta1, State::like(&base));
+        self.mid.midpoint_on(&self.base, &self.eta2, &region);
         self.engine
             .advection_subupdate(
-                &base,
+                &self.base,
                 &mut self.mid,
-                &mut zeta3,
+                &mut self.eta1,
                 &mut self.tend,
                 region,
                 dt2,
                 &fctx,
             )
             .expect("serial subupdate cannot fail");
-        self.eta1 = zeta3;
 
         // ---- physics (H-S) then smoothing ξ^{(k)} = S̃(ζ₃) ---------------
         self.engine.apply_forcing(&mut self.eta1, region);

@@ -18,7 +18,9 @@
 //! identity `S̃ = S̃_L + S̃'_L = S̃_R + S̃'_R` is testable literally.
 
 use crate::geometry::{LocalGeometry, Region};
+use crate::pool::{self, StateBand};
 use crate::state::State;
+#[cfg(any(test, feature = "scalar-ref"))]
 use agcm_mesh::{Field2, Field3};
 
 /// Fourth-difference coefficients for offsets −2..=+2.
@@ -46,12 +48,21 @@ impl RowMask {
     }
 }
 
+/// Five-point fourth difference on a row slice; `q` is the slice index of
+/// the centre point.  Same expression order as [`d4_lambda_f3`].
+#[inline]
+fn d4_row(r: &[f64], q: usize) -> f64 {
+    r[q - 2] - 4.0 * r[q - 1] + 6.0 * r[q] - 4.0 * r[q + 1] + r[q + 2]
+}
+
+#[cfg(any(test, feature = "scalar-ref"))]
 #[inline]
 fn d4_lambda_f3(f: &Field3, i: isize, j: isize, k: isize) -> f64 {
     f.get(i - 2, j, k) - 4.0 * f.get(i - 1, j, k) + 6.0 * f.get(i, j, k) - 4.0 * f.get(i + 1, j, k)
         + f.get(i + 2, j, k)
 }
 
+#[cfg(any(test, feature = "scalar-ref"))]
 #[inline]
 fn d4_lambda_f2(f: &Field2, i: isize, j: isize) -> f64 {
     f.get(i - 2, j) - 4.0 * f.get(i - 1, j) + 6.0 * f.get(i, j) - 4.0 * f.get(i + 1, j)
@@ -59,6 +70,7 @@ fn d4_lambda_f2(f: &Field2, i: isize, j: isize) -> f64 {
 }
 
 /// `P₁` applied to one 3-D field on `region` (x-only smoothing — U and V).
+#[cfg(any(test, feature = "scalar-ref"))]
 fn p1_field(beta: f64, src: &Field3, dst: &mut Field3, region: Region, nx: isize, mask: RowMask) {
     // P₁ has no y coupling: it belongs entirely to the m = 0 contribution
     let include = mask.has(0);
@@ -78,6 +90,7 @@ fn p1_field(beta: f64, src: &Field3, dst: &mut Field3, region: Region, nx: isize
 }
 
 /// The `m`-row contribution of `P₂` at `(i, j)` (3-D).
+#[cfg(any(test, feature = "scalar-ref"))]
 #[inline]
 fn p2_contrib_f3(beta: f64, src: &Field3, i: isize, j: isize, k: isize, m: isize) -> f64 {
     let b16 = beta / 16.0;
@@ -90,6 +103,7 @@ fn p2_contrib_f3(beta: f64, src: &Field3, i: isize, j: isize, k: isize, m: isize
     v
 }
 
+#[cfg(any(test, feature = "scalar-ref"))]
 #[inline]
 fn p2_contrib_f2(beta: f64, src: &Field2, i: isize, j: isize, m: isize) -> f64 {
     let b16 = beta / 16.0;
@@ -107,7 +121,151 @@ fn p2_contrib_f2(beta: f64, src: &Field2, i: isize, j: isize, m: isize) -> f64 {
 ///
 /// Preconditions: `src` valid two rows/columns beyond `region` in x and y
 /// (wrap + exchange/boundary fill).
+///
+/// Row-sliced and banded over the intra-rank worker pool; bit-identical to
+/// [`smooth_rows_scalar`] at any `AGCM_THREADS`.
 pub fn smooth_rows(
+    geom: &LocalGeometry,
+    beta: f64,
+    src: &State,
+    dst: &mut State,
+    region: Region,
+    mask: RowMask,
+    add: bool,
+) {
+    let (mut bands, nb) = pool::split_state_bands(
+        &mut dst.u,
+        &mut dst.v,
+        &mut dst.phi,
+        &region,
+        pool::workers_for(
+            geom.nx
+                * (region.y1 - region.y0).max(0) as usize
+                * (region.z1 - region.z0).max(0) as usize,
+        ),
+    );
+    pool::run(&mut bands[..nb], "smoothing.band", |band| {
+        smooth_band(geom, beta, src, band, mask, add);
+    });
+
+    // p'_sa: P₂ (2-D) on the calling thread
+    let nx = geom.nx as isize;
+    let b16 = beta / 16.0;
+    let b2 = beta * beta / 256.0;
+    for j in region.y0..region.y1 {
+        let rows: [Option<&[f64]>; 5] = std::array::from_fn(|mi| {
+            mask.0[mi].then(|| src.psa.row(-2, nx + 2, j + (mi as isize - 2)))
+        });
+        let out = dst.psa.row_mut(0, nx, j);
+        for (ii, o) in out.iter_mut().enumerate() {
+            let q = ii + 2;
+            let mut v = 0.0;
+            for (mi, row) in rows.iter().enumerate() {
+                if let Some(r) = row {
+                    let a = A4[mi];
+                    let d4 = d4_row(r, q);
+                    let mut cv = -b16 * a * r[q] + b2 * a * d4;
+                    if mi == 2 {
+                        cv += r[q] - b16 * d4;
+                    }
+                    v += cv;
+                }
+            }
+            if add {
+                *o += v;
+            } else {
+                *o = v;
+            }
+        }
+    }
+}
+
+/// Row-sliced smoothing sweep over one worker band.
+///
+/// Rows are fetched at `x ∈ [-2, nx+2)` (the δ⁴ stencil's full width), so
+/// the slice index of logical point `i + d` is `ii + 2 + d`.  Only the
+/// latitude rows selected by `mask` are touched, preserving the scalar
+/// reference's read footprint exactly.
+fn smooth_band(
+    geom: &LocalGeometry,
+    beta: f64,
+    src: &State,
+    band: &mut StateBand<'_>,
+    mask: RowMask,
+    add: bool,
+) {
+    let StateBand {
+        region,
+        u: t_u,
+        v: t_v,
+        phi: t_phi,
+    } = band;
+    let nx = geom.nx as isize;
+    let b16 = beta / 16.0;
+    let b2 = beta * beta / 256.0;
+    let include = mask.has(0);
+
+    for k in region.z0..region.z1 {
+        for j in region.y0..region.y1 {
+            // U, V: P₁ (x only); accumulate semantics match the P₂ path
+            if !add {
+                for (src_f, dst_f) in [(&src.u, &mut *t_u), (&src.v, &mut *t_v)] {
+                    let out = dst_f.row_mut(0, nx, j, k);
+                    if include {
+                        let r = src_f.row(-2, nx + 2, j, k);
+                        for (ii, o) in out.iter_mut().enumerate() {
+                            let q = ii + 2;
+                            *o = r[q] - b16 * d4_row(r, q);
+                        }
+                    } else {
+                        out.fill(0.0);
+                    }
+                }
+            } else if include {
+                for (src_f, dst_f) in [(&src.u, &mut *t_u), (&src.v, &mut *t_v)] {
+                    let r = src_f.row(-2, nx + 2, j, k);
+                    let out = dst_f.row_mut(0, nx, j, k);
+                    for (ii, o) in out.iter_mut().enumerate() {
+                        let q = ii + 2;
+                        *o += r[q] - b16 * d4_row(r, q);
+                    }
+                }
+            }
+
+            // Φ: P₂ — sum the masked row contributions exactly as the
+            // scalar reference's `p2_contrib_f3` does
+            let rows: [Option<&[f64]>; 5] = std::array::from_fn(|mi| {
+                mask.0[mi].then(|| src.phi.row(-2, nx + 2, j + (mi as isize - 2), k))
+            });
+            let out = t_phi.row_mut(0, nx, j, k);
+            for (ii, o) in out.iter_mut().enumerate() {
+                let q = ii + 2;
+                let mut v = 0.0;
+                for (mi, row) in rows.iter().enumerate() {
+                    if let Some(r) = row {
+                        let a = A4[mi];
+                        let d4 = d4_row(r, q);
+                        let mut cv = -b16 * a * r[q] + b2 * a * d4;
+                        if mi == 2 {
+                            cv += r[q] - b16 * d4;
+                        }
+                        v += cv;
+                    }
+                }
+                if add {
+                    *o += v;
+                } else {
+                    *o = v;
+                }
+            }
+        }
+    }
+}
+
+/// Scalar per-point reference implementation, retained verbatim as the
+/// golden reference for the bitwise-equivalence property tests.
+#[cfg(any(test, feature = "scalar-ref"))]
+pub fn smooth_rows_scalar(
     geom: &LocalGeometry,
     beta: f64,
     src: &State,

@@ -67,6 +67,17 @@ impl State {
         [&mut self.u, &mut self.v, &mut self.phi]
     }
 
+    /// Full raw copy of `a` into `self`, **including halos** — the
+    /// allocation-reusing replacement for `self = a.clone()` in the step
+    /// loops (the derived `Clone` allocates fresh arrays every call).
+    /// Shapes must match.
+    pub fn copy_from(&mut self, a: &State) {
+        self.u.raw_mut().copy_from_slice(a.u.raw());
+        self.v.raw_mut().copy_from_slice(a.v.raw());
+        self.phi.raw_mut().copy_from_slice(a.phi.raw());
+        self.psa.raw_mut().copy_from_slice(a.psa.raw());
+    }
+
     /// `self = a` (interiors).
     pub fn assign(&mut self, a: &State) {
         self.u.assign_interior(&a.u);
@@ -86,24 +97,29 @@ impl State {
     /// Midpoint `self = (a + b)/2` (interiors).
     pub fn midpoint(&mut self, a: &State, b: &State) {
         // (a + b)/2 == a/2 + b/2 == lincomb with scaling; do it directly
-        let (nx, ny, nz) = self.extents();
-        for k in 0..nz as isize {
-            for j in 0..ny as isize {
-                for i in 0..nx as isize {
-                    self.u
-                        .set(i, j, k, 0.5 * (a.u.get(i, j, k) + b.u.get(i, j, k)));
-                    self.v
-                        .set(i, j, k, 0.5 * (a.v.get(i, j, k) + b.v.get(i, j, k)));
-                    self.phi
-                        .set(i, j, k, 0.5 * (a.phi.get(i, j, k) + b.phi.get(i, j, k)));
-                }
-            }
+        let (_, ny, nz) = self.extents();
+        let region = crate::geometry::Region {
+            y0: 0,
+            y1: ny as isize,
+            z0: 0,
+            z1: nz as isize,
+        };
+        self.midpoint_on(a, b, &region);
+    }
+
+    /// Row helper: `d[i] = x[i] + c·y[i]`.
+    #[inline]
+    fn lincomb_row(d: &mut [f64], x: &[f64], c: f64, y: &[f64]) {
+        for ((d, &x), &y) in d.iter_mut().zip(x).zip(y) {
+            *d = x + c * y;
         }
-        for j in 0..ny as isize {
-            for i in 0..nx as isize {
-                self.psa
-                    .set(i, j, 0.5 * (a.psa.get(i, j) + b.psa.get(i, j)));
-            }
+    }
+
+    /// Row helper: `d[i] = (a[i] + b[i])/2`.
+    #[inline]
+    fn midpoint_row(d: &mut [f64], a: &[f64], b: &[f64]) {
+        for ((d, &a), &b) in d.iter_mut().zip(a).zip(b) {
+            *d = 0.5 * (a + b);
         }
     }
 
@@ -114,18 +130,33 @@ impl State {
         let nx = self.extents().0 as isize;
         for k in region.z0..region.z1 {
             for j in region.y0..region.y1 {
-                for i in 0..nx {
-                    self.u.set(i, j, k, x.u.get(i, j, k) + c * y.u.get(i, j, k));
-                    self.v.set(i, j, k, x.v.get(i, j, k) + c * y.v.get(i, j, k));
-                    self.phi
-                        .set(i, j, k, x.phi.get(i, j, k) + c * y.phi.get(i, j, k));
-                }
+                Self::lincomb_row(
+                    self.u.row_mut(0, nx, j, k),
+                    x.u.row(0, nx, j, k),
+                    c,
+                    y.u.row(0, nx, j, k),
+                );
+                Self::lincomb_row(
+                    self.v.row_mut(0, nx, j, k),
+                    x.v.row(0, nx, j, k),
+                    c,
+                    y.v.row(0, nx, j, k),
+                );
+                Self::lincomb_row(
+                    self.phi.row_mut(0, nx, j, k),
+                    x.phi.row(0, nx, j, k),
+                    c,
+                    y.phi.row(0, nx, j, k),
+                );
             }
         }
         for j in region.y0..region.y1 {
-            for i in 0..nx {
-                self.psa.set(i, j, x.psa.get(i, j) + c * y.psa.get(i, j));
-            }
+            Self::lincomb_row(
+                self.psa.row_mut(0, nx, j),
+                x.psa.row(0, nx, j),
+                c,
+                y.psa.row(0, nx, j),
+            );
         }
     }
 
@@ -134,21 +165,29 @@ impl State {
         let nx = self.extents().0 as isize;
         for k in region.z0..region.z1 {
             for j in region.y0..region.y1 {
-                for i in 0..nx {
-                    self.u
-                        .set(i, j, k, 0.5 * (a.u.get(i, j, k) + b.u.get(i, j, k)));
-                    self.v
-                        .set(i, j, k, 0.5 * (a.v.get(i, j, k) + b.v.get(i, j, k)));
-                    self.phi
-                        .set(i, j, k, 0.5 * (a.phi.get(i, j, k) + b.phi.get(i, j, k)));
-                }
+                Self::midpoint_row(
+                    self.u.row_mut(0, nx, j, k),
+                    a.u.row(0, nx, j, k),
+                    b.u.row(0, nx, j, k),
+                );
+                Self::midpoint_row(
+                    self.v.row_mut(0, nx, j, k),
+                    a.v.row(0, nx, j, k),
+                    b.v.row(0, nx, j, k),
+                );
+                Self::midpoint_row(
+                    self.phi.row_mut(0, nx, j, k),
+                    a.phi.row(0, nx, j, k),
+                    b.phi.row(0, nx, j, k),
+                );
             }
         }
         for j in region.y0..region.y1 {
-            for i in 0..nx {
-                self.psa
-                    .set(i, j, 0.5 * (a.psa.get(i, j) + b.psa.get(i, j)));
-            }
+            Self::midpoint_row(
+                self.psa.row_mut(0, nx, j),
+                a.psa.row(0, nx, j),
+                b.psa.row(0, nx, j),
+            );
         }
     }
 
@@ -157,17 +196,21 @@ impl State {
         let nx = self.extents().0 as isize;
         for k in region.z0..region.z1 {
             for j in region.y0..region.y1 {
-                for i in 0..nx {
-                    self.u.set(i, j, k, a.u.get(i, j, k));
-                    self.v.set(i, j, k, a.v.get(i, j, k));
-                    self.phi.set(i, j, k, a.phi.get(i, j, k));
-                }
+                self.u
+                    .row_mut(0, nx, j, k)
+                    .copy_from_slice(a.u.row(0, nx, j, k));
+                self.v
+                    .row_mut(0, nx, j, k)
+                    .copy_from_slice(a.v.row(0, nx, j, k));
+                self.phi
+                    .row_mut(0, nx, j, k)
+                    .copy_from_slice(a.phi.row(0, nx, j, k));
             }
         }
         for j in region.y0..region.y1 {
-            for i in 0..nx {
-                self.psa.set(i, j, a.psa.get(i, j));
-            }
+            self.psa
+                .row_mut(0, nx, j)
+                .copy_from_slice(a.psa.row(0, nx, j));
         }
     }
 

@@ -59,7 +59,224 @@ impl ZContext<'_> {
 /// All ranks of the z communicator must call this collectively with the
 /// same y-extent (they share the same y-range by construction of the
 /// cartesian decomposition).
+///
+/// Row-sliced with all column-sum buffers drawn from `diag`'s persistent
+/// scratch, so a steady-state serial call allocates nothing; bit-identical
+/// to [`apply_c_scalar`].
 pub fn apply_c(
+    geom: &LocalGeometry,
+    stdatm: &StandardAtmosphere,
+    arg: &State,
+    diag: &mut Diag,
+    region: Region,
+    zctx: &ZContext<'_>,
+    wrap_x: bool,
+) -> CommResult<()> {
+    // the whole of C — the nested allgather inherits Phase::C
+    let _c = agcm_obs::span_phase(agcm_obs::SpanKind::Op, agcm_obs::Phase::C, "apply_c");
+    let nx = geom.nx as isize;
+    let nz = geom.nz as isize;
+    // X-Y decompositions exchange (not wrap) the x halo, so the C outputs
+    // must be computed one x column into the halo; their z collectives are
+    // serial there (p_z = 1), so the extended width never reaches an
+    // allgather.
+    let xe: isize = if wrap_x { 0 } else { 1 };
+    debug_assert!(
+        wrap_x || matches!(zctx, ZContext::Serial),
+        "3-D decompositions (split x AND z) are not supported"
+    );
+    // φ' needs one extra row on each side (clamped to the allocation)
+    let gy0 = (region.y0 - 1).max(-(geom.halo.ym as isize));
+    let gy1 = (region.y1 + 1).min(geom.ny as isize + geom.halo.yp as isize);
+
+    // --- local stencil diagnostics -------------------------------------
+    diag.update_dsa(geom, arg, region.y0, region.y1);
+    diag.update_dp(geom, arg, region.y0, region.y1, region.z0, region.z1, xe);
+
+    // scratch lives in `diag` across calls; taken out for disjoint borrows
+    // (`Default` leaves empty Vecs behind — no allocation either way)
+    let mut zs = std::mem::take(&mut diag.zscratch);
+
+    // --- per-column block sums over OWNED levels ------------------------
+    // layout: [dp-sums over region rows | φ'-integrand sums over grown rows]
+    let wy = (region.y1 - region.y0).max(0) as usize;
+    let wyg = (gy1 - gy0).max(0) as usize;
+    let nxu = geom.nx + 2 * xe as usize;
+    zs.sums.clear();
+    zs.sums.resize(nxu * (wy + wyg), 0.0);
+    for k in 0..nz {
+        let ds = geom.dsigma(k);
+        for (jj, j) in (region.y0..region.y1).enumerate() {
+            let row = &mut zs.sums[jj * nxu..(jj + 1) * nxu];
+            let r_dp = diag.dp.row(-xe, nx + xe, j, k);
+            for (s, &d) in row.iter_mut().zip(r_dp) {
+                *s += ds * d;
+            }
+        }
+    }
+    // φ'-integrand c_l = b·Φ·Δσ/(P·σ) at owned levels, on grown rows
+    for k in 0..nz {
+        let ds = geom.dsigma(k);
+        let sigc = geom.sigma_c(k);
+        for (jj, j) in (gy0..gy1).enumerate() {
+            let row = &mut zs.sums[(wy + jj) * nxu..(wy + jj + 1) * nxu];
+            let r_phi = arg.phi.row(-xe, nx + xe, j, k);
+            let r_cp = diag.cap_p.row(-xe, nx + xe, j);
+            for ((s, &phi), &cp) in row.iter_mut().zip(r_phi).zip(r_cp) {
+                *s += c::B_GRAVITY_WAVE * phi * ds / (cp * sigc);
+            }
+        }
+    }
+
+    // --- the collective: allgather of block sums along z ----------------
+    // prefix = Σ of blocks above (lower global k), suffix = Σ of blocks
+    // below, total = everything.
+    let n = zs.sums.len();
+    match zctx {
+        ZContext::Serial => {
+            zs.prefix.clear();
+            zs.prefix.resize(n, 0.0);
+            zs.suffix.clear();
+            zs.suffix.resize(n, 0.0);
+            zs.total.clear();
+            zs.total.extend_from_slice(&zs.sums);
+        }
+        ZContext::Parallel(comm) => {
+            let all = match comm.allgather(&zs.sums) {
+                Ok(all) => all,
+                Err(e) => {
+                    diag.zscratch = zs;
+                    return Err(e);
+                }
+            };
+            zs.prefix.clear();
+            zs.prefix.resize(n, 0.0);
+            zs.suffix.clear();
+            zs.suffix.resize(n, 0.0);
+            zs.total.clear();
+            zs.total.resize(n, 0.0);
+            for r in 0..comm.size() {
+                let blk = &all[r * n..(r + 1) * n];
+                for (t, &v) in zs.total.iter_mut().zip(blk) {
+                    *t += v;
+                }
+                if r < comm.rank() {
+                    for (p, &v) in zs.prefix.iter_mut().zip(blk) {
+                        *p += v;
+                    }
+                } else if r > comm.rank() {
+                    for (s, &v) in zs.suffix.iter_mut().zip(blk) {
+                        *s += v;
+                    }
+                }
+            }
+        }
+    }
+
+    // --- vsum and g_w on the region --------------------------------------
+    for (jj, j) in (region.y0..region.y1).enumerate() {
+        let total_row = &zs.total[jj * nxu..(jj + 1) * nxu];
+        diag.vsum
+            .row_mut(-xe, nx + xe, j)
+            .copy_from_slice(total_row);
+    }
+    for (jj, j) in (region.y0..region.y1).enumerate() {
+        // per-row running prefix of Δσ·dp below global interface z0 − 1/2;
+        // each column's accumulation order matches the scalar walk exactly
+        zs.run.clear();
+        zs.run
+            .extend_from_slice(&zs.prefix[jj * nxu..(jj + 1) * nxu]);
+        for l in region.z0..0 {
+            let ds = geom.dsigma(l);
+            let r_dp = diag.dp.row(-xe, nx + xe, j, l);
+            for (r, &d) in zs.run.iter_mut().zip(r_dp) {
+                *r -= ds * d;
+            }
+        }
+        let total_row = &zs.total[jj * nxu..(jj + 1) * nxu];
+        // walk interfaces k−1/2 for k = z0 ..= z1
+        let mut k = region.z0;
+        loop {
+            let gk = geom.sigma_lo(k).clamp(0.0, 1.0);
+            let out = diag.gw.row_mut(-xe, nx + xe, j, k);
+            for ((o, &vs), &run) in out.iter_mut().zip(total_row).zip(zs.run.iter()) {
+                *o = gk * vs - run;
+            }
+            if k == region.z1 {
+                break;
+            }
+            let ds = geom.dsigma(k);
+            let r_dp = diag.dp.row(-xe, nx + xe, j, k);
+            for (r, &d) in zs.run.iter_mut().zip(r_dp) {
+                *r += ds * d;
+            }
+            k += 1;
+        }
+    }
+
+    // --- φ' on the grown rows -------------------------------------------
+    for (jj, j) in (gy0..gy1).enumerate() {
+        let base = (wy + jj) * nxu;
+        // running suffix Σ_{l > k} c_l, starting at k = z1 − 1
+        zs.run.clear();
+        zs.run.extend_from_slice(&zs.suffix[base..base + nxu]);
+        for l in nz..region.z1 {
+            let ds = geom.dsigma(l);
+            let sigc = geom.sigma_c(l);
+            let r_phi = arg.phi.row(-xe, nx + xe, j, l);
+            let r_cp = diag.cap_p.row(-xe, nx + xe, j);
+            for ((r, &phi), &cp) in zs.run.iter_mut().zip(r_phi).zip(r_cp) {
+                *r -= c::B_GRAVITY_WAVE * phi * ds / (cp * sigc);
+            }
+        }
+        let mut k = region.z1 - 1;
+        loop {
+            let ds = geom.dsigma(k);
+            let sigc = geom.sigma_c(k);
+            {
+                let r_phi = arg.phi.row(-xe, nx + xe, j, k);
+                let r_cp = diag.cap_p.row(-xe, nx + xe, j);
+                zs.ck.clear();
+                zs.ck.extend(
+                    r_phi
+                        .iter()
+                        .zip(r_cp)
+                        .map(|(&phi, &cp)| c::B_GRAVITY_WAVE * phi * ds / (cp * sigc)),
+                );
+            }
+            let r_psa = arg.psa.row(-xe, nx + xe, j);
+            let out = diag.phi_p.row_mut(-xe, nx + xe, j, k);
+            for (ii, o) in out.iter_mut().enumerate() {
+                // surface geopotential deviation: φ'_s = R·T̃_s·p'_sa/p̃_s
+                let phi_s = c::R_DRY * stdatm.ts * r_psa[ii] / stdatm.ps_tilde;
+                *o = phi_s + 0.5 * zs.ck[ii] + zs.run[ii];
+            }
+            if k == region.z0 {
+                break;
+            }
+            for (r, &ck) in zs.run.iter_mut().zip(zs.ck.iter()) {
+                *r += ck;
+            }
+            k -= 1;
+        }
+    }
+
+    diag.zscratch = zs;
+
+    // x halos of the C outputs (read at i±1 by the tendencies); under X-Y
+    // decompositions the extended-x computation above covered them instead
+    if wrap_x {
+        diag.phi_p.wrap_x_halo();
+        diag.gw.wrap_x_halo();
+        diag.vsum.wrap_x_halo();
+    }
+    Ok(())
+}
+
+/// Scalar per-point reference implementation, retained verbatim as the
+/// golden reference for the bitwise-equivalence property tests.
+#[cfg(any(test, feature = "scalar-ref"))]
+pub fn apply_c_scalar(
     geom: &LocalGeometry,
     stdatm: &StandardAtmosphere,
     arg: &State,

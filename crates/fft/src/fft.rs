@@ -81,6 +81,198 @@ fn fft_rec(x: &[Complex], sign: f64) -> Vec<Complex> {
     out
 }
 
+/// Memoized twiddle tables, one per transform length and direction.
+///
+/// Every root-of-unity the recursion evaluates has the form
+/// `cis(sign·2π/n · t)` with `t ∈ 0..n`, so a table of exactly those values
+/// — computed with the *same expression* on the *same argument* — substitutes
+/// bitwise for the inline `cis` calls while moving sin/cos out of the
+/// per-point combine loops.  The lengths a transform of size `n` needs form
+/// the factor chain `n, n/r₁, n/(r₁r₂), …` (all subsequences at one level
+/// share a length), so the whole set is precomputed before recursing.
+#[derive(Debug, Clone, Default)]
+struct TwiddleCache {
+    /// `(n, forward?, table)` — a handful of entries (one chain per length
+    /// used), linear scan is cheaper than hashing
+    tables: Vec<(usize, bool, Vec<Complex>)>,
+}
+
+impl TwiddleCache {
+    /// Precompute tables for the whole factor chain of `n` in direction
+    /// `sign`.  Allocates only the first time a length is seen.
+    fn ensure(&mut self, mut n: usize, sign: f64) {
+        let fwd = sign < 0.0;
+        while n > 1 {
+            if !self.tables.iter().any(|(m, f, _)| *m == n && *f == fwd) {
+                let w = sign * 2.0 * std::f64::consts::PI / n as f64;
+                let table: Vec<Complex> = (0..n).map(|t| Complex::cis(w * t as f64)).collect();
+                self.tables.push((n, fwd, table));
+            }
+            let r = smallest_factor(n);
+            if r == n {
+                break;
+            }
+            n /= r;
+        }
+    }
+
+    fn get(&self, n: usize, sign: f64) -> &[Complex] {
+        let fwd = sign < 0.0;
+        self.tables
+            .iter()
+            .find(|(m, f, _)| *m == n && *f == fwd)
+            .map(|(_, _, t)| t.as_slice())
+            .expect("twiddle table prepared by ensure()")
+    }
+}
+
+/// Naive DFT writing into a caller-provided buffer (`out.len() == x.len()`).
+/// Bitwise-identical to [`dft_naive`] — same accumulation order, twiddles
+/// looked up from the precomputed table instead of recomputed.
+fn dft_naive_into(x: &[Complex], sign: f64, out: &mut [Complex], tw: &TwiddleCache) {
+    let n = x.len();
+    debug_assert_eq!(out.len(), n);
+    if n == 0 {
+        return;
+    }
+    let table = tw.get(n, sign);
+    for (k, o) in out.iter_mut().enumerate() {
+        let mut acc = Complex::zero();
+        for (j, &xj) in x.iter().enumerate() {
+            acc += xj * table[(j * k) % n];
+        }
+        *o = acc;
+    }
+}
+
+/// Allocation-free recursive mixed-radix kernel.
+///
+/// Writes the transform of `x` into `out` (`out.len() == x.len()`), using
+/// `arena` as recursion scratch.  `arena.len() >= 2 * x.len()` suffices: each
+/// level parks its `r` transformed subsequences in the first `n` slots and
+/// recurses into the remainder (`n + n/2 + n/4 + … < 2n`).  The sequence of
+/// floating-point operations is exactly that of [`fft_rec`] (twiddles come
+/// from the table, computed by the same expression), so results are bitwise
+/// identical.
+fn fft_rec_into(
+    x: &[Complex],
+    sign: f64,
+    out: &mut [Complex],
+    arena: &mut [Complex],
+    tw: &TwiddleCache,
+) {
+    let n = x.len();
+    debug_assert_eq!(out.len(), n);
+    if n == 0 {
+        return;
+    }
+    if n == 1 {
+        out[0] = x[0];
+        return;
+    }
+    let r = smallest_factor(n);
+    if r == n {
+        // prime length: fall back to naive DFT (O(n²) — only hit for prime n)
+        dft_naive_into(x, sign, out, tw);
+        return;
+    }
+    let m = n / r;
+    // decimate: sub l takes x[l], x[l+r], x[l+2r], ...  `out` doubles as the
+    // strided staging buffer; the transformed subs land contiguously in the
+    // first n slots of the arena.
+    let (subs_buf, rest) = arena.split_at_mut(n);
+    for l in 0..r {
+        let stage = &mut out[..m];
+        for (j, s) in stage.iter_mut().enumerate() {
+            *s = x[l + j * r];
+        }
+        fft_rec_into(&out[..m], sign, &mut subs_buf[l * m..(l + 1) * m], rest, tw);
+    }
+    // combine: X[k] = Σ_l e^{sign·2πi·lk/n} · Sub_l[k mod m]
+    let table = tw.get(n, sign);
+    for (k, o) in out.iter_mut().enumerate() {
+        let mut acc = Complex::zero();
+        for l in 0..r {
+            acc += subs_buf[l * m + k % m] * table[(l * k) % n];
+        }
+        *o = acc;
+    }
+}
+
+/// Reusable buffers for the allocation-free transform entry points.
+///
+/// Steady-state calls at a fixed length perform no heap allocation: buffers
+/// are grown once and reused (`clear` + `resize` keeps capacity).
+#[derive(Debug, Clone, Default)]
+pub struct FftScratch {
+    /// Full-length staging input (complexified signal / mirrored spectrum).
+    a: Vec<Complex>,
+    /// Full-length transform output.
+    b: Vec<Complex>,
+    /// Recursion arena (`2n`).
+    arena: Vec<Complex>,
+    /// Roots of unity per transform length and direction.
+    tw: TwiddleCache,
+}
+
+impl FftScratch {
+    /// Empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn ensure(&mut self, n: usize, sign: f64) {
+        // `a` and `b` are fully overwritten before being read and stale
+        // arena slots are written before the combine reads them, so a
+        // same-length reuse skips the re-zeroing entirely
+        if self.a.len() != n {
+            self.a.clear();
+            self.a.resize(n, Complex::zero());
+            self.b.clear();
+            self.b.resize(n, Complex::zero());
+            self.arena.clear();
+            self.arena.resize(2 * n, Complex::zero());
+        }
+        self.tw.ensure(n, sign);
+    }
+
+    /// Forward real-to-complex FFT into `out` (resized to `n/2 + 1`).
+    /// Bitwise-identical to [`rfft`]; allocation-free once warmed up at a
+    /// given length.
+    pub fn rfft_into(&mut self, x: &[f64], out: &mut Vec<Complex>) {
+        let n = x.len();
+        self.ensure(n, -1.0);
+        for (a, &v) in self.a.iter_mut().zip(x) {
+            *a = Complex::from(v);
+        }
+        fft_rec_into(&self.a, -1.0, &mut self.b, &mut self.arena, &self.tw);
+        out.clear();
+        out.extend_from_slice(&self.b[..=n / 2]);
+    }
+
+    /// Inverse of [`FftScratch::rfft_into`]: reconstruct `out.len()` real
+    /// samples from the half spectrum (`spectrum.len() == n/2 + 1`).
+    /// Bitwise-identical to [`irfft`].
+    pub fn irfft_into(&mut self, spectrum: &[Complex], out: &mut [f64]) {
+        let n = out.len();
+        assert_eq!(
+            spectrum.len(),
+            n / 2 + 1,
+            "half spectrum of length n/2+1 required"
+        );
+        self.ensure(n, 1.0);
+        self.a[..spectrum.len()].copy_from_slice(spectrum);
+        for k in spectrum.len()..n {
+            self.a[k] = spectrum[n - k].conj();
+        }
+        fft_rec_into(&self.a, 1.0, &mut self.b, &mut self.arena, &self.tw);
+        let s = 1.0 / n as f64;
+        for (o, c) in out.iter_mut().zip(&self.b) {
+            *o = c.scale(s).re;
+        }
+    }
+}
+
 /// Forward FFT (no normalization).
 pub fn fft(x: &[Complex]) -> Vec<Complex> {
     fft_rec(x, -1.0)
@@ -250,6 +442,30 @@ mod tests {
         assert!((spec[0].re - 21.0).abs() < 1e-12); // DC = sum
         assert!(spec[0].im.abs() < 1e-12);
         assert!(spec[3].im.abs() < 1e-9); // Nyquist is real for even n
+    }
+
+    #[test]
+    fn scratch_paths_bitwise_match_allocating_paths() {
+        let mut scratch = FftScratch::new();
+        let mut spec = Vec::new();
+        for n in [2usize, 7, 9, 12, 30, 34, 64, 720] {
+            let x: Vec<f64> = (0..n)
+                .map(|i| ((i * i * 31 + 5) % 23) as f64 - 11.0)
+                .collect();
+            let want_spec = rfft(&x);
+            scratch.rfft_into(&x, &mut spec);
+            assert_eq!(spec.len(), want_spec.len(), "n={n}");
+            for (a, b) in spec.iter().zip(&want_spec) {
+                assert_eq!(a.re.to_bits(), b.re.to_bits(), "n={n}");
+                assert_eq!(a.im.to_bits(), b.im.to_bits(), "n={n}");
+            }
+            let want_back = irfft(&want_spec, n);
+            let mut back = vec![0.0; n];
+            scratch.irfft_into(&spec, &mut back);
+            for (a, b) in back.iter().zip(&want_back) {
+                assert_eq!(a.to_bits(), b.to_bits(), "n={n}");
+            }
+        }
     }
 
     #[test]

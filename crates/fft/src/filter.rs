@@ -19,7 +19,24 @@
 //! and that the Y-Z decomposition (`p_x = 1`) eliminates entirely (§4.2.1).
 
 use crate::complex::Complex;
-use crate::fft::{irfft, rfft};
+use crate::fft::{irfft, rfft, FftScratch};
+
+/// Reusable buffers for allocation-free row filtering.
+///
+/// One `FilterScratch` per worker thread; steady-state
+/// [`FourierFilter::apply_row_with`] calls at a fixed `nx` allocate nothing.
+#[derive(Debug, Clone, Default)]
+pub struct FilterScratch {
+    fft: FftScratch,
+    spec: Vec<Complex>,
+}
+
+impl FilterScratch {
+    /// Empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
 
 /// Precomputed per-latitude damping profiles for `F`.
 #[derive(Debug, Clone)]
@@ -96,6 +113,9 @@ impl FourierFilter {
     }
 
     /// Filter one latitude circle in place.  `row.len()` must equal `nx`.
+    ///
+    /// Allocates per call; hot paths should hold a [`FilterScratch`] and use
+    /// [`FourierFilter::apply_row_with`] instead (bitwise-identical result).
     pub fn apply_row(&self, j: usize, row: &mut [f64]) {
         assert_eq!(row.len(), self.nx, "row must span the full circle");
         let Some(prof) = &self.damping[j] else {
@@ -107,6 +127,22 @@ impl FourierFilter {
         }
         let out = irfft(&spec, self.nx);
         row.copy_from_slice(&out);
+    }
+
+    /// Filter one latitude circle in place using reusable buffers.
+    ///
+    /// Bitwise-identical to [`FourierFilter::apply_row`]; performs no heap
+    /// allocation once `scratch` has warmed up at this `nx`.
+    pub fn apply_row_with(&self, j: usize, row: &mut [f64], scratch: &mut FilterScratch) {
+        assert_eq!(row.len(), self.nx, "row must span the full circle");
+        let Some(prof) = &self.damping[j] else {
+            return;
+        };
+        scratch.fft.rfft_into(row, &mut scratch.spec);
+        for (c, &d) in scratch.spec.iter_mut().zip(prof) {
+            *c = c.scale(d);
+        }
+        scratch.fft.irfft_into(&scratch.spec, row);
     }
 
     /// Apply the damping profile of row `j` directly to a half spectrum
@@ -246,6 +282,24 @@ mod tests {
             r.iter().map(|v| (v - m) * (v - m)).sum::<f64>()
         };
         assert!(energy(&twice) <= energy(&once) + 1e-12);
+    }
+
+    #[test]
+    fn apply_row_with_is_bitwise_identical() {
+        let lats = latitudes(18);
+        let f = FourierFilter::with_default_cutoff(24, &lats);
+        let mut scratch = FilterScratch::new();
+        for j in [0usize, 1, 9, 17] {
+            let mut a: Vec<f64> = (0..24)
+                .map(|i| ((i * 13 + j * 7) % 19) as f64 - 9.0)
+                .collect();
+            let mut b = a.clone();
+            f.apply_row(j, &mut a);
+            f.apply_row_with(j, &mut b, &mut scratch);
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.to_bits(), y.to_bits(), "row {j}");
+            }
+        }
     }
 
     #[test]

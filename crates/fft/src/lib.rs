@@ -18,5 +18,5 @@ pub mod filter;
 
 pub use complex::Complex;
 pub use distributed::filter_rows_distributed;
-pub use fft::{dft_naive, fft, ifft, irfft, rfft};
-pub use filter::FourierFilter;
+pub use fft::{dft_naive, fft, ifft, irfft, rfft, FftScratch};
+pub use filter::{FilterScratch, FourierFilter};

@@ -240,19 +240,125 @@ impl Field3 {
     }
 
     /// Contiguous x-row `[x0, x1)` at `(j, k)` (may extend into the x halo).
+    ///
+    /// # Safety contract
+    ///
+    /// x is stride-1, so the returned slice is exactly the points
+    /// `(x0..x1, j, k)` in order.  Both endpoints must lie within
+    /// `[-halo.xm, nx + halo.xp]`; this is checked by `debug_assert` only
+    /// (like the scalar accessors), because row extraction happens once per
+    /// `(j, k)` on hot paths whose loop bounds are already validated by the
+    /// region/stencil machinery.  Out-of-range rows in release builds slice
+    /// into *adjacent rows* of the same allocation — never out of the
+    /// allocation for in-halo `j`/`k` (the slice bounds themselves are still
+    /// checked by the indexing operation), but logically wrong.  Callers
+    /// that take untrusted coordinates must use [`Self::checked_idx`] first.
+    #[inline]
     pub fn row(&self, x0: isize, x1: isize, j: isize, k: isize) -> &[f64] {
         debug_assert!(x0 <= x1);
+        debug_assert!(x1 <= (self.nx + self.halo.xp) as isize);
         let a = self.idx(x0, j, k);
         let b = a + (x1 - x0) as usize;
         &self.data[a..b]
     }
 
-    /// Mutable contiguous x-row.
+    /// Mutable contiguous x-row.  Same safety contract as [`Self::row`].
+    #[inline]
     pub fn row_mut(&mut self, x0: isize, x1: isize, j: isize, k: isize) -> &mut [f64] {
         debug_assert!(x0 <= x1);
+        debug_assert!(x1 <= (self.nx + self.halo.xp) as isize);
         let a = self.idx(x0, j, k);
         let b = a + (x1 - x0) as usize;
         &mut self.data[a..b]
+    }
+
+    /// Two *disjoint* mutable x-rows at `(ja, ka)` and `(jb, kb)`, in that
+    /// order.  Panics if the rows coincide.  Same bounds contract as
+    /// [`Self::row`].
+    #[inline]
+    pub fn row_pair(
+        &mut self,
+        x0: isize,
+        x1: isize,
+        (ja, ka): (isize, isize),
+        (jb, kb): (isize, isize),
+    ) -> (&mut [f64], &mut [f64]) {
+        assert!(
+            (ja, ka) != (jb, kb),
+            "row_pair requires two distinct (j, k) rows"
+        );
+        debug_assert!(x0 <= x1);
+        let w = (x1 - x0) as usize;
+        let a = self.idx(x0, ja, ka);
+        let b = self.idx(x0, jb, kb);
+        if a < b {
+            let (lo, hi) = self.data.split_at_mut(b);
+            (&mut lo[a..a + w], &mut hi[..w])
+        } else {
+            let (lo, hi) = self.data.split_at_mut(a);
+            let second = &mut lo[b..b + w];
+            (&mut hi[..w], second)
+        }
+    }
+
+    /// One mutable z-slab covering `k ∈ [k0, k1)` (full x/y extents
+    /// including halos).  Allocation-free; combined with
+    /// [`SlabMut3::split_at_k`] this is the worker pool's way of carving a
+    /// field into disjoint per-thread bands without heap traffic.
+    pub fn slab_mut(&mut self, k0: isize, k1: isize) -> SlabMut3<'_> {
+        let zm = self.halo.zm as isize;
+        assert!(k0 <= k1, "slab range must be non-decreasing");
+        assert!(k0 >= -zm && k1 <= (self.nz + self.halo.zp) as isize);
+        let sz = self.sz;
+        let a = ((k0 + zm) * sz as isize) as usize;
+        let b = ((k1 + zm) * sz as isize) as usize;
+        SlabMut3 {
+            data: &mut self.data[a..b],
+            nx: self.nx,
+            ny: self.ny,
+            halo: self.halo,
+            sy: self.sy,
+            sz,
+            k0,
+            k1,
+        }
+    }
+
+    /// Split the field into mutable z-slabs along the given global-k cut
+    /// points.  `cuts` must be strictly increasing and lie within
+    /// `[-halo.zm, nz + halo.zp]`; slab `n` covers `k ∈ [cuts[n], cuts[n+1])`
+    /// with full x/y extents (interior + halo).  The returned views write
+    /// through disjoint ranges of the underlying allocation, so they can be
+    /// sent to different worker threads; indexing stays in *global* local
+    /// coordinates, identical to the parent field's.
+    pub fn split_z_slabs(&mut self, cuts: &[isize]) -> Vec<SlabMut3<'_>> {
+        assert!(cuts.len() >= 2, "need at least one slab");
+        let zm = self.halo.zm as isize;
+        assert!(cuts[0] >= -zm && *cuts.last().unwrap() <= (self.nz + self.halo.zp) as isize);
+        for w in cuts.windows(2) {
+            assert!(w[0] < w[1], "cuts must be strictly increasing");
+        }
+        let sz = self.sz;
+        let plane0 = ((cuts[0] + zm) * sz as isize) as usize;
+        let plane1 = ((cuts[cuts.len() - 1] + zm) * sz as isize) as usize;
+        let mut rest = &mut self.data[plane0..plane1];
+        let mut out = Vec::with_capacity(cuts.len() - 1);
+        for w in cuts.windows(2) {
+            let n = ((w[1] - w[0]) as usize) * sz;
+            let (head, tail) = rest.split_at_mut(n);
+            rest = tail;
+            out.push(SlabMut3 {
+                data: head,
+                nx: self.nx,
+                ny: self.ny,
+                halo: self.halo,
+                sy: self.sy,
+                sz,
+                k0: w[0],
+                k1: w[1],
+            });
+        }
+        out
     }
 
     /// Raw data (including halos) — escape hatch for the FFT, which
@@ -409,24 +515,143 @@ impl Field3 {
     /// the paper's Y-Z scheme makes the x direction communication-free for
     /// stencils too.
     pub fn wrap_x_halo(&mut self) {
-        let nx = self.nx as isize;
-        let (hm, hp) = (self.halo.xm as isize, self.halo.xp as isize);
+        let nx = self.nx;
+        let (hm, hp) = (self.halo.xm, self.halo.xp);
+        if hm == 0 && hp == 0 {
+            return;
+        }
         let ny = self.ny as isize;
         let nz = self.nz as isize;
         let (hym, hyp) = (self.halo.ym as isize, self.halo.yp as isize);
         let (hzm, hzp) = (self.halo.zm as isize, self.halo.zp as isize);
         for k in -hzm..nz + hzp {
             for j in -hym..ny + hyp {
-                for d in 1..=hm {
-                    let v = self.get(nx - d, j, k);
-                    self.set(-d, j, k, v);
-                }
-                for d in 0..hp {
-                    let v = self.get(d, j, k);
-                    self.set(nx + d, j, k, v);
-                }
+                let a = self.idx(-(hm as isize), j, k);
+                let row = &mut self.data[a..a + hm + nx + hp];
+                // halo[-d] = interior[nx-d]: row[0..hm) = row[nx..nx+hm)
+                row.copy_within(nx..nx + hm, 0);
+                // halo[nx+d] = interior[d]: row[hm+nx..) = row[hm..hm+hp)
+                row.copy_within(hm..hm + hp, hm + nx);
             }
         }
+    }
+}
+
+/// A mutable z-slab view of a [`Field3`], produced by
+/// [`Field3::split_z_slabs`].
+///
+/// The view owns the planes `k ∈ [k0, k1)` of the parent allocation (full
+/// x/y extents including halos).  All accessors take the *same global local
+/// coordinates* as the parent field, so kernels can be written once and run
+/// unchanged against the whole field (one slab) or a band of it (one slab
+/// per worker).  Accesses outside the slab's k-range are a bug and panic in
+/// debug builds.
+#[derive(Debug)]
+pub struct SlabMut3<'a> {
+    data: &'a mut [f64],
+    nx: usize,
+    ny: usize,
+    halo: HaloWidths,
+    sy: usize,
+    sz: usize,
+    k0: isize,
+    k1: isize,
+}
+
+impl<'a> SlabMut3<'a> {
+    /// The global-k range `[k0, k1)` this slab covers.
+    pub fn k_range(&self) -> (isize, isize) {
+        (self.k0, self.k1)
+    }
+
+    #[inline]
+    fn idx(&self, i: isize, j: isize, k: isize) -> usize {
+        debug_assert!(
+            k >= self.k0 && k < self.k1,
+            "z index {k} outside slab [{}, {})",
+            self.k0,
+            self.k1
+        );
+        debug_assert!(
+            i >= -(self.halo.xm as isize) && i < (self.nx + self.halo.xp) as isize,
+            "x index {i} out of range"
+        );
+        debug_assert!(
+            j >= -(self.halo.ym as isize) && j < (self.ny + self.halo.yp) as isize,
+            "y index {j} out of range"
+        );
+        let base = (self.halo.xm + self.halo.ym * self.sy) as isize;
+        (base + i + j * self.sy as isize + (k - self.k0) * self.sz as isize) as usize
+    }
+
+    /// Read at global local coordinates (must lie in this slab's k-range).
+    #[inline]
+    pub fn get(&self, i: isize, j: isize, k: isize) -> f64 {
+        self.data[self.idx(i, j, k)]
+    }
+
+    /// Write at global local coordinates.
+    #[inline]
+    pub fn set(&mut self, i: isize, j: isize, k: isize, v: f64) {
+        let ix = self.idx(i, j, k);
+        self.data[ix] = v;
+    }
+
+    /// Add at global local coordinates.
+    #[inline]
+    pub fn add(&mut self, i: isize, j: isize, k: isize, v: f64) {
+        let ix = self.idx(i, j, k);
+        self.data[ix] += v;
+    }
+
+    /// Contiguous x-row `[x0, x1)` at `(j, k)` — same contract as
+    /// [`Field3::row`].
+    #[inline]
+    pub fn row(&self, x0: isize, x1: isize, j: isize, k: isize) -> &[f64] {
+        debug_assert!(x0 <= x1);
+        let a = self.idx(x0, j, k);
+        &self.data[a..a + (x1 - x0) as usize]
+    }
+
+    /// Mutable contiguous x-row — same contract as [`Field3::row_mut`].
+    #[inline]
+    pub fn row_mut(&mut self, x0: isize, x1: isize, j: isize, k: isize) -> &mut [f64] {
+        debug_assert!(x0 <= x1);
+        let a = self.idx(x0, j, k);
+        &mut self.data[a..a + (x1 - x0) as usize]
+    }
+
+    /// Split this slab at global plane `k` into `[k0, k)` and `[k, k1)`.
+    ///
+    /// Allocation-free (consumes `self`, splitting the underlying slice), so
+    /// the worker pool can carve a field into per-thread bands without heap
+    /// traffic.
+    pub fn split_at_k(self, k: isize) -> (SlabMut3<'a>, SlabMut3<'a>) {
+        assert!(k >= self.k0 && k <= self.k1, "split plane outside slab");
+        let cut = ((k - self.k0) * self.sz as isize) as usize;
+        let (lo, hi) = self.data.split_at_mut(cut);
+        (
+            SlabMut3 {
+                data: lo,
+                nx: self.nx,
+                ny: self.ny,
+                halo: self.halo,
+                sy: self.sy,
+                sz: self.sz,
+                k0: self.k0,
+                k1: k,
+            },
+            SlabMut3 {
+                data: hi,
+                nx: self.nx,
+                ny: self.ny,
+                halo: self.halo,
+                sy: self.sy,
+                sz: self.sz,
+                k0: k,
+                k1: self.k1,
+            },
+        )
     }
 }
 
@@ -568,14 +793,22 @@ impl Field2 {
         self.data[ix] += v;
     }
 
-    /// Contiguous x-row `[x0, x1)` at row `j`.
+    /// Contiguous x-row `[x0, x1)` at row `j` — same safety contract as
+    /// [`Field3::row`].
+    #[inline]
     pub fn row(&self, x0: isize, x1: isize, j: isize) -> &[f64] {
+        debug_assert!(x0 <= x1);
+        debug_assert!(x1 <= (self.nx + self.hx.1) as isize);
         let a = self.idx(x0, j);
         &self.data[a..a + (x1 - x0) as usize]
     }
 
-    /// Mutable contiguous x-row.
+    /// Mutable contiguous x-row — same safety contract as
+    /// [`Field3::row_mut`].
+    #[inline]
     pub fn row_mut(&mut self, x0: isize, x1: isize, j: isize) -> &mut [f64] {
+        debug_assert!(x0 <= x1);
+        debug_assert!(x1 <= (self.nx + self.hx.1) as isize);
         let a = self.idx(x0, j);
         &mut self.data[a..a + (x1 - x0) as usize]
     }
@@ -667,19 +900,18 @@ impl Field2 {
     /// Fill the x halo by periodic wrap within this rank (requires `px = 1`,
     /// see [`Field3::wrap_x_halo`]).
     pub fn wrap_x_halo(&mut self) {
-        let nx = self.nx as isize;
-        let (hm, hp) = (self.hx.0 as isize, self.hx.1 as isize);
+        let nx = self.nx;
+        let (hm, hp) = (self.hx.0, self.hx.1);
+        if hm == 0 && hp == 0 {
+            return;
+        }
         let ny = self.ny as isize;
         let (hym, hyp) = (self.hy.0 as isize, self.hy.1 as isize);
         for j in -hym..ny + hyp {
-            for d in 1..=hm {
-                let v = self.get(nx - d, j);
-                self.set(-d, j, v);
-            }
-            for d in 0..hp {
-                let v = self.get(d, j);
-                self.set(nx + d, j, v);
-            }
+            let a = self.idx(-(hm as isize), j);
+            let row = &mut self.data[a..a + hm + nx + hp];
+            row.copy_within(nx..nx + hm, 0);
+            row.copy_within(hm..hm + hp, hm + nx);
         }
     }
 }
@@ -859,6 +1091,73 @@ mod tests {
         assert_eq!(c.max_abs(), 0.0);
         c.assign_interior(&f);
         assert_eq!(c.max_abs_diff(&f), 0.0);
+    }
+
+    #[test]
+    fn row_pair_disjoint_rows() {
+        let mut f = Field3::new(4, 3, 2, HaloWidths::uniform(1));
+        fill_pattern(&mut f);
+        let (a, b) = f.row_pair(0, 4, (0, 0), (2, 1));
+        assert_eq!(a, &[0.0, 1.0, 2.0, 3.0]);
+        assert_eq!(b, &[120.0, 121.0, 122.0, 123.0]);
+        a[0] = -1.0;
+        b[3] = -2.0;
+        assert_eq!(f.get(0, 0, 0), -1.0);
+        assert_eq!(f.get(3, 2, 1), -2.0);
+        // order is preserved even when the first row is the later one
+        let (c, d) = f.row_pair(0, 4, (2, 1), (0, 0));
+        assert_eq!(c[3], -2.0);
+        assert_eq!(d[0], -1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn row_pair_same_row_panics() {
+        let mut f = Field3::new(4, 3, 2, HaloWidths::uniform(1));
+        let _ = f.row_pair(0, 4, (1, 1), (1, 1));
+    }
+
+    #[test]
+    fn split_z_slabs_cover_disjoint_planes() {
+        let mut f = Field3::new(4, 3, 4, HaloWidths::uniform(1));
+        fill_pattern(&mut f);
+        let mut slabs = f.split_z_slabs(&[0, 2, 4]);
+        assert_eq!(slabs.len(), 2);
+        assert_eq!(slabs[0].k_range(), (0, 2));
+        assert_eq!(slabs[1].k_range(), (2, 4));
+        // global addressing matches the parent field
+        assert_eq!(slabs[0].get(1, 2, 1), (1 + 10 * 2 + 100) as f64);
+        assert_eq!(slabs[1].get(3, 0, 3), (3 + 300) as f64);
+        // writes land in the parent field, rows are contiguous
+        slabs[0].set(0, 0, 0, -5.0);
+        slabs[1].row_mut(0, 4, 1, 2).fill(-7.0);
+        slabs[1].add(0, 1, 2, -1.0);
+        drop(slabs);
+        assert_eq!(f.get(0, 0, 0), -5.0);
+        assert_eq!(f.get(0, 1, 2), -8.0);
+        assert_eq!(f.get(3, 1, 2), -7.0);
+        // halo planes can be included in a slab
+        let slabs = f.split_z_slabs(&[-1, 5]);
+        assert_eq!(slabs.len(), 1);
+        assert_eq!(slabs[0].k_range(), (-1, 5));
+    }
+
+    #[test]
+    fn wrap_x_halo_asymmetric() {
+        let h = HaloWidths {
+            xm: 2,
+            xp: 1,
+            ym: 1,
+            yp: 0,
+            zm: 0,
+            zp: 1,
+        };
+        let mut f = Field3::new(5, 2, 2, h);
+        fill_pattern(&mut f);
+        f.wrap_x_halo();
+        assert_eq!(f.get(-1, 0, 0), f.get(4, 0, 0));
+        assert_eq!(f.get(-2, 1, 1), f.get(3, 1, 1));
+        assert_eq!(f.get(5, 1, 0), f.get(0, 1, 0));
     }
 
     #[test]

@@ -28,7 +28,7 @@ pub mod stencil;
 
 pub use decomp::{DecompKind, Decomposition, NeighborLink, ProcessGrid, Subdomain};
 pub use error::MeshError;
-pub use field::{Field2, Field3, HaloWidths};
+pub use field::{Field2, Field3, HaloWidths, SlabMut3};
 pub use grid::{constants, LatLonGrid, SigmaLevels};
 pub use halo::{BoxRange, ExchangePlan, ExchangeSpec};
 pub use stencil::{Axis, AxisOffsets, StencilFootprint};

@@ -46,6 +46,11 @@ pub enum SpanKind {
     Gauge,
     /// Fault recovery: a rollback + degraded re-run window.
     Recovery,
+    /// One intra-rank worker executing a `(j, k)` band of a kernel sweep
+    /// (the `AGCM_THREADS` pool).  Never counted by the schedule
+    /// cross-check — worker fan-out is an implementation detail below the
+    /// operator level.
+    Worker,
 }
 
 impl SpanKind {
@@ -61,6 +66,7 @@ impl SpanKind {
             SpanKind::Collective => "collective",
             SpanKind::Gauge => "gauge",
             SpanKind::Recovery => "recovery",
+            SpanKind::Worker => "worker",
         }
     }
 }
