@@ -1,0 +1,59 @@
+//! Transport-layer benchmarks: the same halo-exchange worlds timed over the
+//! in-memory channel transport and over the Unix-domain-socket byte-stream
+//! transport (`agcm-run`'s wire).  The gap between the two is the cost of
+//! real kernel round-trips plus framing/checksumming — an upper bound on
+//! what moving from threads to processes costs the reproduction, and a
+//! sanity check that the socket path is fast enough for CI worlds.
+
+use agcm_bench::timing::{bench, group};
+use agcm_comm::{Endpoint, Universe};
+use agcm_core::par::{ExField, HaloExchanger};
+use agcm_mesh::{Decomposition, Field3, HaloWidths, ProcessGrid};
+
+const RANKS: usize = 4;
+const EXTENTS: (usize, usize, usize) = (96, 48, 16);
+
+#[derive(Clone, Copy)]
+enum Via {
+    Mpsc,
+    Uds,
+}
+
+/// one CA-style deep exchange round over the chosen transport
+fn run_exchanges(via: Via, rounds: usize, depth: usize) -> f64 {
+    let body = move |comm: &mut agcm_comm::Communicator| {
+        let d = Decomposition::new(EXTENTS, ProcessGrid::yz(2, 2).unwrap()).unwrap();
+        let sub = d.subdomain(comm.rank());
+        let (nx, ny, nz) = sub.extents();
+        let h = HaloWidths::uniform(depth);
+        let mut f3: Vec<Field3> = (0..5)
+            .map(|i| {
+                let mut f = Field3::new(nx, ny, nz, h);
+                f.fill(i as f64);
+                f
+            })
+            .collect();
+        let mut ex = HaloExchanger::new(d, comm.rank());
+        for _ in 0..rounds {
+            let mut fields: Vec<ExField> = f3.iter_mut().map(ExField::F3).collect();
+            ex.exchange(comm, h, &mut fields).unwrap();
+        }
+        f3[0].get(0, -1, 0)
+    };
+    let out = match via {
+        Via::Mpsc => Universe::run(RANKS, body),
+        Via::Uds => Universe::run_sockets(RANKS, &Endpoint::unique_uds(), body),
+    };
+    out[0]
+}
+
+fn main() {
+    // NB: the UDS numbers include the per-iteration mesh connect/teardown
+    // (p·(p-1) socket pairs), exactly what one `agcm-run` world pays
+    group("transport_halo");
+    bench("mpsc_2x_depth5", 10, || run_exchanges(Via::Mpsc, 2, 5));
+    bench("uds_2x_depth5", 10, || run_exchanges(Via::Uds, 2, 5));
+    group("transport_shallow");
+    bench("mpsc_13x_depth1", 10, || run_exchanges(Via::Mpsc, 13, 1));
+    bench("uds_13x_depth1", 10, || run_exchanges(Via::Uds, 13, 1));
+}

@@ -353,10 +353,9 @@ impl FaultPlan {
         if spec.trim().is_empty() {
             return None;
         }
-        let seed = std::env::var("AGCM_FAULT_SEED")
-            .ok()
-            .and_then(|v| v.trim().parse().ok())
-            .unwrap_or(DEFAULT_SEED);
+        // strict parse: a typo'd seed must not silently replay the
+        // *default* schedule instead of the requested one
+        let seed = crate::env::parse_env_or("AGCM_FAULT_SEED", DEFAULT_SEED);
         match FaultPlan::parse(seed, &spec) {
             Ok(p) => Some(p),
             Err(e) => panic!("invalid AGCM_FAULT_SPEC: {e}"),
@@ -429,6 +428,19 @@ pub fn checksum(data: &[f64]) -> u64 {
             h ^= b as u64;
             h = h.wrapping_mul(0x0000_0100_0000_01B3);
         }
+    }
+    h
+}
+
+/// The same FNV-1a hash applied to a raw byte stream.  For a payload of
+/// little-endian `f64` bit patterns this equals [`checksum`] of the values;
+/// the socket transport checksums each encoded wire frame (header + payload
+/// bytes) with it.
+pub fn checksum_bytes(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
     }
     h
 }

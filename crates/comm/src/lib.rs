@@ -14,6 +14,7 @@
 #![warn(missing_docs)]
 
 pub mod collective;
+pub mod env;
 pub mod error;
 pub mod fault;
 #[cfg(loom)]
@@ -21,12 +22,18 @@ mod loom_model;
 pub mod model;
 pub mod runtime;
 pub mod stats;
+pub mod transport;
 
 pub use collective::{AllreduceAlgo, ReduceOp};
+pub use env::{parse_env, parse_env_or, EnvError};
 pub use error::{CommError, CommResult};
 pub use fault::{
-    checksum, splitmix64, FaultAction, FaultEvent, FaultKind, FaultPlan, FaultRule, FaultSite,
+    checksum, checksum_bytes, splitmix64, FaultAction, FaultEvent, FaultKind, FaultPlan, FaultRule,
+    FaultSite,
 };
 pub use model::{p2p_only_delta, CostModel};
 pub use runtime::{default_timeout, Communicator, Universe, FRAME_WORDS};
 pub use stats::{CollectiveEvent, CollectiveKind, CommStats, FaultSnapshot, StatsSnapshot};
+pub use transport::{
+    Endpoint, Envelope, MpscTransport, SocketTransport, Transport, WireStats, WIRE_OVERHEAD_BYTES,
+};

@@ -16,6 +16,14 @@
 //! * communicator **contexts**: messages from a split sub-communicator can
 //!   never be matched by receives on the parent, mirroring MPI context ids.
 //!
+//! All of those semantics — plus [`crate::CommStats`] accounting, fault
+//! injection and tracing — live *above* the pluggable
+//! [`crate::transport::Transport`] trait, so they are identical
+//! over thread-backed channels ([`crate::transport::MpscTransport`], the
+//! default) and over real OS byte streams
+//! ([`crate::transport::SocketTransport`], one process per rank via the
+//! `agcm-run` launcher).
+//!
 //! The runtime transfers real data (the dynamical core built on it is
 //! checked bit-for-bit against a serial reference); the wall-clock cost of
 //! running at `p = 1024` is instead *modelled* (see [`crate::model`]) from
@@ -24,37 +32,29 @@
 use crate::error::{CommError, CommResult};
 use crate::fault::{self, FaultAction, FaultEvent, FaultKind, FaultPlan, FaultSite};
 use crate::stats::CommStats;
+use crate::transport::{
+    Endpoint, Envelope, MpscTransport, SocketTransport, Transport, WireStats, POISON_CTX,
+};
 use agcm_obs as obs;
 use std::cell::{Cell, RefCell};
 use std::rc::Rc;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::{Arc, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 /// Default deadlock-detection timeout: `AGCM_COMM_TIMEOUT_MS` (milliseconds)
-/// if set in the environment, otherwise 30 s.  Tests that exercise failure
-/// paths should either set the env var for the whole run or call
-/// [`Communicator::set_timeout`] / [`Universe::run_with_timeout`] so
-/// expected deadlocks fail in milliseconds.
+/// if set in the environment, otherwise 30 s.  A malformed value panics (see
+/// [`crate::env`]).  Tests that exercise failure paths should either set the
+/// env var for the whole run or call [`Communicator::set_timeout`] /
+/// [`Universe::run_with_timeout`] so expected deadlocks fail in
+/// milliseconds.
 pub fn default_timeout() -> Duration {
     static MS: OnceLock<u64> = OnceLock::new();
-    let ms = *MS.get_or_init(|| {
-        std::env::var("AGCM_COMM_TIMEOUT_MS")
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(30_000)
-    });
+    let ms = *MS.get_or_init(|| crate::env::parse_env_or("AGCM_COMM_TIMEOUT_MS", 30_000));
     Duration::from_millis(ms)
 }
 
 /// Tags with this bit set are reserved for collectives.
 pub(crate) const COLLECTIVE_TAG_BIT: u32 = 0x8000_0000;
-
-/// Context id of poison envelopes (sent when a rank panics so peers fail
-/// fast instead of waiting out the deadlock timeout).  Real contexts are
-/// allocated from 0 upward and can never reach this value.
-const POISON_CTX: u64 = u64::MAX;
 
 /// Trailer words appended by [`Communicator::send_framed`]:
 /// `[payload_len, checksum_lo32, checksum_hi32]`, each stored as an
@@ -67,56 +67,6 @@ pub const FRAME_WORDS: usize = 3;
 fn recv_wait_hist() -> &'static Arc<obs::Histogram> {
     static H: OnceLock<Arc<obs::Histogram>> = OnceLock::new();
     H.get_or_init(|| obs::Registry::global().histogram("comm.recv_wait_ns"))
-}
-
-/// A message in flight.
-#[derive(Debug, Clone)]
-pub(crate) struct Envelope {
-    pub ctx: u64,
-    pub src_global: usize,
-    pub tag: u32,
-    pub data: Vec<f64>,
-    /// Injected link faults riding on the envelope: how many deliveries to
-    /// lose / corrupt before the clean payload gets through (the receiver
-    /// applies these, modelling loss on the wire while keeping the runtime's
-    /// eager-copy architecture).
-    pub drops: u32,
-    pub corrupt: u32,
-    pub corrupt_bit: u32,
-    pub corrupt_seed: u64,
-    /// Injected duplicate: delivered, but never counted as traffic.
-    pub redundant: bool,
-}
-
-impl Envelope {
-    fn new(ctx: u64, src_global: usize, tag: u32, data: Vec<f64>) -> Self {
-        Envelope {
-            ctx,
-            src_global,
-            tag,
-            data,
-            drops: 0,
-            corrupt: 0,
-            corrupt_bit: 0,
-            corrupt_seed: 0,
-            redundant: false,
-        }
-    }
-
-    fn poison(src_global: usize) -> Self {
-        Envelope::new(POISON_CTX, src_global, 0, Vec::new())
-    }
-
-    /// The payload with the injected bit flip applied (the stored data
-    /// stays clean for a retry).
-    fn corrupted_copy(&self) -> Vec<f64> {
-        let mut data = self.data.clone();
-        if !data.is_empty() {
-            let idx = (self.corrupt_seed % data.len() as u64) as usize;
-            data[idx] = f64::from_bits(data[idx].to_bits() ^ (1u64 << self.corrupt_bit));
-        }
-        data
-    }
 }
 
 /// Per-rank fault-injection state, shared (via `Rc`) by every communicator
@@ -159,72 +109,59 @@ fn fault_metric_name(kind: FaultKind) -> &'static str {
     }
 }
 
-pub(crate) struct Shared {
-    senders: Vec<Sender<Envelope>>,
-    next_ctx: AtomicU64,
-}
-
 /// A set of ranks executing one SPMD program.
 pub struct Universe {
     size: usize,
 }
 
 impl Universe {
-    /// Run `f` on `p` ranks (threads).  Returns the per-rank results in rank
-    /// order.  Panics in any rank are propagated (the whole run fails).
+    /// Run `f` on `p` ranks (threads) over the in-memory transport.
+    /// Returns the per-rank results in rank order.  Panics in any rank are
+    /// propagated (the whole run fails).
     pub fn run<T, F>(p: usize, f: F) -> Vec<T>
     where
         T: Send,
         F: Fn(&mut Communicator) -> T + Sync,
     {
         assert!(p >= 1, "need at least one rank");
-        let mut senders = Vec::with_capacity(p);
-        let mut receivers = Vec::with_capacity(p);
-        for _ in 0..p {
-            let (tx, rx) = channel::<Envelope>();
-            senders.push(tx);
-            receivers.push(rx);
-        }
-        let shared = Arc::new(Shared {
-            senders,
-            next_ctx: AtomicU64::new(1),
-        });
-        let mut out: Vec<Option<T>> = (0..p).map(|_| None).collect();
-        std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(p);
-            for (rank, rx) in receivers.into_iter().enumerate() {
-                let shared = Arc::clone(&shared);
-                let f = &f;
-                handles.push(scope.spawn(move || {
-                    // tag trace events from this thread with its rank
-                    obs::set_rank(rank);
-                    let mut comm = Communicator::world(shared, rank, p, rx);
-                    // Catch the rank's panic so peers can be poisoned
-                    // (fail-fast PeerFailed instead of a full deadlock
-                    // timeout); the payload is re-thrown at join.
-                    let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut comm)));
-                    if r.is_err() {
-                        comm.poison_peers();
-                    }
-                    r
-                }));
-            }
-            let mut first_panic = None;
-            for (rank, h) in handles.into_iter().enumerate() {
-                match h.join() {
-                    Ok(Ok(v)) => out[rank] = Some(v),
-                    Ok(Err(payload)) | Err(payload) => {
-                        if first_panic.is_none() {
-                            first_panic = Some(payload);
-                        }
-                    }
-                }
-            }
-            if let Some(payload) = first_panic {
-                std::panic::resume_unwind(payload);
-            }
-        });
-        out.into_iter().map(|v| v.expect("joined")).collect()
+        let mesh: Vec<Mutex<Option<MpscTransport>>> = MpscTransport::mesh(p)
+            .into_iter()
+            .map(|t| Mutex::new(Some(t)))
+            .collect();
+        run_scoped(
+            p,
+            |rank| {
+                let tr = mesh[rank]
+                    .lock()
+                    .expect("mesh slot")
+                    .take()
+                    .expect("one transport per rank");
+                Communicator::on_transport(Rc::new(tr))
+            },
+            f,
+        )
+    }
+
+    /// Like [`Universe::run`], but every rank talks through its own
+    /// [`SocketTransport`] at `endpoint` — real kernel byte streams between
+    /// threads of this process.  Used by the cross-transport test suites
+    /// and benches; the `agcm-run` launcher runs the same transport with
+    /// one OS *process* per rank instead.
+    pub fn run_sockets<T, F>(p: usize, endpoint: &Endpoint, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(&mut Communicator) -> T + Sync,
+    {
+        assert!(p >= 1, "need at least one rank");
+        run_scoped(
+            p,
+            |rank| {
+                let tr = SocketTransport::connect(rank, p, endpoint)
+                    .unwrap_or_else(|e| panic!("rank {rank}: socket transport: {e}"));
+                Communicator::on_transport(Rc::new(tr))
+            },
+            f,
+        )
     }
 
     /// Like [`Universe::run`], but with an explicit deadlock-detection
@@ -246,9 +183,54 @@ impl Universe {
     }
 }
 
-/// Per-thread mailbox: the raw channel plus the unexpected-message queue.
+/// Shared SPMD harness: one scoped thread per rank, a communicator built
+/// *on* that thread (communicators are `!Send`), panics caught so peers
+/// get poisoned (fail-fast [`CommError::PeerFailed`]) and re-thrown at
+/// join.
+fn run_scoped<T, F, S>(p: usize, setup: S, f: F) -> Vec<T>
+where
+    T: Send,
+    S: Fn(usize) -> Communicator + Sync,
+    F: Fn(&mut Communicator) -> T + Sync,
+{
+    let mut out: Vec<Option<T>> = (0..p).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(p);
+        for rank in 0..p {
+            let f = &f;
+            let setup = &setup;
+            handles.push(scope.spawn(move || {
+                // tag trace events from this thread with its rank
+                obs::set_rank(rank);
+                let mut comm = setup(rank);
+                let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut comm)));
+                if r.is_err() {
+                    comm.poison_peers();
+                }
+                r
+            }));
+        }
+        let mut first_panic = None;
+        for (rank, h) in handles.into_iter().enumerate() {
+            match h.join() {
+                Ok(Ok(v)) => out[rank] = Some(v),
+                Ok(Err(payload)) | Err(payload) => {
+                    if first_panic.is_none() {
+                        first_panic = Some(payload);
+                    }
+                }
+            }
+        }
+        if let Some(payload) = first_panic {
+            std::panic::resume_unwind(payload);
+        }
+    });
+    out.into_iter().map(|v| v.expect("joined")).collect()
+}
+
+/// Per-rank mailbox state above the transport: the unexpected-message
+/// queue plus the sticky poison flag.
 pub(crate) struct Mailbox {
-    rx: Receiver<Envelope>,
     pending: RefCell<Vec<Envelope>>,
     /// Set when a poison envelope arrives: the global rank that panicked.
     /// Sticky — every subsequent receive fails fast with `PeerFailed`.
@@ -256,9 +238,8 @@ pub(crate) struct Mailbox {
 }
 
 impl Mailbox {
-    fn new(rx: Receiver<Envelope>) -> Self {
+    fn new() -> Self {
         Mailbox {
-            rx,
             pending: RefCell::new(Vec::new()),
             poisoned: Cell::new(None),
         }
@@ -271,8 +252,11 @@ impl Mailbox {
 /// Not `Send`: a communicator lives on the thread of its rank, exactly like
 /// an MPI rank's communicator handle.
 pub struct Communicator {
-    shared: Arc<Shared>,
+    transport: Rc<dyn Transport>,
     mailbox: Rc<Mailbox>,
+    /// Next free slot in this world rank's private context-id space (shared
+    /// by every communicator split from the same world handle).
+    ctx_alloc: Rc<Cell<u64>>,
     ctx: u64,
     rank: usize,
     /// local rank -> global rank
@@ -288,10 +272,18 @@ pub struct Communicator {
 }
 
 impl Communicator {
-    fn world(shared: Arc<Shared>, rank: usize, size: usize, rx: Receiver<Envelope>) -> Self {
+    /// The world communicator of this rank over an already-connected
+    /// transport.  The fault plan (if `AGCM_FAULT_SPEC` is set) and the
+    /// default deadlock timeout are read from the environment, exactly as
+    /// for thread-backed worlds — chaos replays and timeouts are
+    /// transport-independent.
+    pub fn on_transport(transport: Rc<dyn Transport>) -> Self {
+        let rank = transport.world_rank();
+        let size = transport.world_size();
         Communicator {
-            shared,
-            mailbox: Rc::new(Mailbox::new(rx)),
+            transport,
+            mailbox: Rc::new(Mailbox::new()),
+            ctx_alloc: Rc::new(Cell::new(1)),
             ctx: 0,
             rank,
             members: Arc::new((0..size).collect()),
@@ -320,6 +312,19 @@ impl Communicator {
     /// Shared traffic counters of this rank (shared with sub-communicators).
     pub fn stats(&self) -> &CommStats {
         &self.stats
+    }
+
+    /// Wire-level byte/frame counters of the underlying transport (`None`
+    /// on in-memory transports).  Unlike [`Communicator::stats`], these
+    /// count *everything* that crosses the wire: checksum framing and
+    /// redundant duplicate deliveries included.
+    pub fn wire_stats(&self) -> Option<WireStats> {
+        self.transport.wire_stats()
+    }
+
+    /// Short name of the underlying transport (`"mpsc"`, `"uds"`, `"tcp"`).
+    pub fn transport_name(&self) -> &'static str {
+        self.transport.name()
     }
 
     /// Change the deadlock-detection timeout (default: [`default_timeout`]).
@@ -423,13 +428,11 @@ impl Communicator {
             copy.redundant = true;
             copy
         });
-        self.shared.senders[peer_global]
-            .send(env)
-            .map_err(|_| CommError::PeerGone { peer: peer_global })?;
+        self.transport.send(peer_global, env)?;
         self.stats.record_send(n);
         if let Some(copy) = redundant {
             // the duplicate is best-effort and never counted
-            let _ = self.shared.senders[peer_global].send(copy);
+            let _ = self.transport.send(peer_global, copy);
         }
         Ok(())
     }
@@ -442,7 +445,7 @@ impl Communicator {
 
     /// Every fault fired on this rank so far, in firing order.  Two runs
     /// with the same plan and program produce identical logs — the
-    /// determinism contract chaos tests assert on.
+    /// determinism contract chaos tests assert on (over *any* transport).
     pub fn fault_log(&self) -> Vec<FaultEvent> {
         self.fault
             .as_ref()
@@ -512,7 +515,7 @@ impl Communicator {
         while i < held.len() {
             if all || held[i].0 <= now {
                 let (_, peer, env) = held.swap_remove(i);
-                let _ = self.shared.senders[peer].send(env);
+                let _ = self.transport.send(peer, env);
             } else {
                 i += 1;
             }
@@ -523,9 +526,9 @@ impl Communicator {
     /// their receives fail fast with [`CommError::PeerFailed`]).
     fn poison_peers(&self) {
         let me = self.members[self.rank];
-        for (g, tx) in self.shared.senders.iter().enumerate() {
+        for g in 0..self.transport.world_size() {
             if g != me {
-                let _ = tx.send(Envelope::poison(me));
+                let _ = self.transport.send(g, Envelope::poison(me));
             }
         }
     }
@@ -657,7 +660,7 @@ impl Communicator {
                 }
             }
         }
-        // 2. drain the channel until the match arrives
+        // 2. drain the transport until the match arrives
         let entered = Instant::now();
         let deadline = entered + self.timeout.get();
         loop {
@@ -665,8 +668,8 @@ impl Communicator {
             if remaining.is_zero() {
                 return self.timeout_err(src, tag);
             }
-            match self.mailbox.rx.recv_timeout(remaining) {
-                Ok(env) => {
+            match self.transport.recv(remaining) {
+                Some(env) => {
                     if env.ctx == POISON_CTX {
                         self.mailbox.poisoned.set(Some(env.src_global));
                         return Err(CommError::PeerFailed {
@@ -697,7 +700,7 @@ impl Communicator {
                     }
                     self.mailbox.pending.borrow_mut().push(env);
                 }
-                Err(_) => {
+                None => {
                     return self.timeout_err(src, tag);
                 }
             }
@@ -740,7 +743,7 @@ impl Communicator {
     /// effect.
     pub fn purge_other_contexts(&self, keep: &[&Communicator]) {
         let mut pending = self.mailbox.pending.borrow_mut();
-        while let Ok(env) = self.mailbox.rx.try_recv() {
+        while let Some(env) = self.transport.try_recv() {
             if env.ctx == POISON_CTX {
                 self.mailbox.poisoned.set(Some(env.src_global));
                 continue;
@@ -772,6 +775,23 @@ impl Communicator {
         self.recv(src, recv_tag)
     }
 
+    /// Allocate a contiguous block of `n` context ids from this world
+    /// rank's private id space.
+    ///
+    /// There is no cross-process shared counter in a socket-backed world,
+    /// so context ids are namespaced by the *allocating* world rank:
+    /// `((world_rank + 1) << 32) | counter`.  Two distinct communicators
+    /// can only collide if the same allocator handed out the same counter
+    /// value — impossible.  The salted ids are identical across transports
+    /// (the mpsc world uses the same scheme), exceed every user context of
+    /// the pre-salt scheme, and can never reach the poison id.
+    fn alloc_ctx_block(&self, n: u64) -> u64 {
+        let c = self.ctx_alloc.get();
+        self.ctx_alloc.set(c + n);
+        debug_assert!(c + n < 1 << 32, "context space exhausted");
+        ((self.members[self.rank] as u64 + 1) << 32) | c
+    }
+
     /// Create a sub-communicator per distinct `color`; ranks are ordered by
     /// `key` (ties broken by parent rank).  Collective over the parent.
     pub fn split(&mut self, color: usize, key: usize) -> CommResult<Communicator> {
@@ -787,13 +807,12 @@ impl Communicator {
         let mut colors: Vec<usize> = triples.iter().map(|t| t.0).collect();
         colors.dedup();
         let num_groups = colors.len();
-        // Parent rank 0 allocates a contiguous ctx block and broadcasts it.
+        // Parent rank 0 allocates a contiguous ctx block from its own id
+        // space and broadcasts the base (exactly representable as f64:
+        // world ranks are far below 2^20, so the id fits in 52 bits).
         let mut base = [0.0f64];
         if self.rank == 0 {
-            base[0] = self
-                .shared
-                .next_ctx
-                .fetch_add(num_groups as u64, Ordering::Relaxed) as f64;
+            base[0] = self.alloc_ctx_block(num_groups as u64) as f64;
         }
         self.bcast(0, &mut base)?;
         let base = base[0] as u64;
@@ -819,8 +838,9 @@ impl Communicator {
                 ))
             })?;
         Ok(Communicator {
-            shared: Arc::clone(&self.shared),
+            transport: Rc::clone(&self.transport),
             mailbox: Rc::clone(&self.mailbox),
+            ctx_alloc: Rc::clone(&self.ctx_alloc),
             ctx: base + color_index as u64,
             rank: new_rank,
             members: Arc::new(members),
@@ -1028,5 +1048,88 @@ mod tests {
             sub.rank()
         });
         assert_eq!(results, vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn salted_ctx_allocation_never_collides_across_allocators() {
+        // two different allocator ranks (world rank 0 for the world split,
+        // the pair's lowest rank for a nested split) must hand out disjoint
+        // context ids, even without a shared counter
+        let results = Universe::run(4, |comm| {
+            let sub = comm.split(comm.rank() % 2, comm.rank()).unwrap();
+            // nested split allocates from the *sub* communicator's rank 0
+            // (world rank 0 or 1 depending on color)
+            let mut sub = sub;
+            let nested = sub.split(0, sub.rank()).unwrap();
+            (sub.ctx, nested.ctx)
+        });
+        let mut ids: Vec<u64> = results.iter().flat_map(|&(a, b)| [a, b]).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        // 2 sub-communicator contexts + 2 nested contexts, all distinct
+        assert_eq!(ids.len(), 4, "ctx ids must be globally unique: {ids:?}");
+        for id in ids {
+            assert!(id >= 1 << 32, "salted ids live above the world context");
+            assert_ne!(id, u64::MAX);
+        }
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn socket_universe_matches_mpsc_semantics() {
+        // same program as ring_pass + out_of_order_matching, over real
+        // kernel byte streams
+        let ep = Endpoint::unique_uds();
+        let results = Universe::run_sockets(4, &ep, |comm| {
+            assert_eq!(comm.transport_name(), "uds");
+            let next = (comm.rank() + 1) % comm.size();
+            let prev = (comm.rank() + comm.size() - 1) % comm.size();
+            comm.send(next, 1, &[comm.rank() as f64]).unwrap();
+            let ring = comm.recv(prev, 1).unwrap()[0];
+            let sub = comm.split(comm.rank() % 2, comm.rank()).unwrap();
+            let other = 1 - sub.rank();
+            sub.send(other, 1, &[ring * 2.0]).unwrap();
+            sub.recv(other, 1).unwrap()[0]
+        });
+        assert_eq!(results, vec![2.0, 4.0, 6.0, 0.0]);
+        assert!(comm_wire_identity_holds(&ep));
+    }
+
+    /// Helper: re-run a tiny exchange and check the wire-byte identity
+    /// `bytes == 8·elems + overhead·msgs` against the logical stats.
+    #[cfg(unix)]
+    fn comm_wire_identity_holds(_: &Endpoint) -> bool {
+        use crate::transport::WIRE_OVERHEAD_BYTES;
+        let ep = Endpoint::unique_uds();
+        let ok = Universe::run_sockets(2, &ep, |comm| {
+            let other = 1 - comm.rank();
+            comm.send(other, 1, &[1.0; 10]).unwrap();
+            comm.recv(other, 1).unwrap();
+            let s = comm.stats().snapshot();
+            let w = comm.wire_stats().expect("socket transport has wire stats");
+            w.msgs_sent == s.p2p_sends
+                && w.bytes_sent == 8 * s.p2p_send_elems + WIRE_OVERHEAD_BYTES * w.msgs_sent
+        });
+        ok.into_iter().all(|b| b)
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn socket_poison_fails_peers_fast() {
+        let ep = Endpoint::unique_uds();
+        let caught = std::panic::catch_unwind(|| {
+            Universe::run_sockets(2, &ep, |comm| {
+                comm.set_timeout(Duration::from_secs(30));
+                if comm.rank() == 0 {
+                    panic!("rank 0 dies");
+                }
+                // must fail fast with PeerFailed, not wait out 30 s
+                let t0 = Instant::now();
+                let err = comm.recv(0, 1).unwrap_err();
+                assert!(matches!(err, CommError::PeerFailed { peer: 0 }));
+                assert!(t0.elapsed() < Duration::from_secs(10));
+            })
+        });
+        assert!(caught.is_err(), "the injected panic propagates");
     }
 }

@@ -1,0 +1,1135 @@
+//! Pluggable rank-to-rank transports beneath the [`crate::Communicator`].
+//!
+//! The communicator implements *all* message-passing semantics — tag/source
+//! matching, the unexpected-message queue, communicator contexts, deadlock
+//! timeouts, [`crate::CommStats`] traffic accounting, fault injection and
+//! the obs span tracer — **above** this trait.  A transport only moves
+//! whole [`Envelope`]s between world ranks, so schedules, fault replays and
+//! traces are transport-independent by construction: the same program over
+//! [`MpscTransport`] (thread-backed, in-memory) and [`SocketTransport`]
+//! (byte-stream over Unix-domain sockets or TCP) produces bitwise-identical
+//! results and identical logical traffic counts.
+//!
+//! # Wire format of the byte-stream transport
+//!
+//! Each envelope is one length-prefixed frame (all integers little-endian):
+//!
+//! ```text
+//! u32  payload word count n
+//! u64  ctx            (communicator context id; u64::MAX = poison)
+//! u32  src_global     (sender's world rank)
+//! u32  tag
+//! u32  drops          (fault rider: deliveries to lose)
+//! u32  corrupt        (fault rider: deliveries to bit-flip)
+//! u32  corrupt_bit
+//! u32  flags          (bit 0: redundant duplicate)
+//! u64  corrupt_seed
+//! 8n   payload        (f64 bit patterns)
+//! u64  FNV-1a checksum over all preceding frame bytes
+//! ```
+//!
+//! The checksum reuses the same FNV-1a hash as the in-runtime
+//! [`crate::fault::checksum`] frames ([`crate::fault::checksum_bytes`]); a
+//! frame that fails validation poisons the receiving mailbox (the stream
+//! position can no longer be trusted), which surfaces as a typed
+//! [`crate::CommError::PeerFailed`] instead of silent corruption.
+//!
+//! Connection setup is a full-mesh handshake: rank `i` listens on
+//! `<endpoint>.<i>` (Unix) or `port + i` (TCP), and every ordered pair of
+//! ranks gets one simplex connection opened by the sender, announced by a
+//! 20-byte hello (`"AGCMWIRE"`, version, sender rank, world size).
+//! [`SocketTransport::connect`] returns only once every peer connection is
+//! up in both directions, so a successful construction doubles as the
+//! launcher's barrier that the whole world exists.
+
+use crate::error::{CommError, CommResult};
+use crate::fault;
+use std::cell::RefCell;
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Context id of poison envelopes (sent when a rank panics — or when a
+/// byte-stream frame fails validation — so peers fail fast instead of
+/// waiting out the deadlock timeout).  Real contexts can never reach this
+/// value.
+pub(crate) const POISON_CTX: u64 = u64::MAX;
+
+/// A message in flight between two world ranks.
+#[derive(Debug, Clone)]
+pub struct Envelope {
+    /// Communicator context id (`POISON_CTX` marks a poison envelope).
+    pub ctx: u64,
+    /// Sender's world rank.
+    pub src_global: usize,
+    /// Message tag.
+    pub tag: u32,
+    /// Payload.
+    pub data: Vec<f64>,
+    /// Injected link faults riding on the envelope: how many deliveries to
+    /// lose before the clean payload gets through (the receiver applies
+    /// these, modelling loss on the wire while keeping the runtime's
+    /// eager-copy architecture).
+    pub drops: u32,
+    /// Fault rider: deliveries to corrupt before the clean payload.
+    pub corrupt: u32,
+    /// Fault rider: which bit the injected corruption flips.
+    pub corrupt_bit: u32,
+    /// Fault rider: seeds the corrupted element choice.
+    pub corrupt_seed: u64,
+    /// Injected duplicate: delivered, but never counted as traffic.
+    pub redundant: bool,
+}
+
+impl Envelope {
+    /// A fresh fault-free envelope.
+    pub fn new(ctx: u64, src_global: usize, tag: u32, data: Vec<f64>) -> Self {
+        Envelope {
+            ctx,
+            src_global,
+            tag,
+            data,
+            drops: 0,
+            corrupt: 0,
+            corrupt_bit: 0,
+            corrupt_seed: 0,
+            redundant: false,
+        }
+    }
+
+    /// A poison envelope announcing that world rank `src_global` died.
+    pub fn poison(src_global: usize) -> Self {
+        Envelope::new(POISON_CTX, src_global, 0, Vec::new())
+    }
+
+    /// The payload with the injected bit flip applied (the stored data
+    /// stays clean for a retry).
+    pub(crate) fn corrupted_copy(&self) -> Vec<f64> {
+        let mut data = self.data.clone();
+        if !data.is_empty() {
+            let idx = (self.corrupt_seed % data.len() as u64) as usize;
+            data[idx] = f64::from_bits(data[idx].to_bits() ^ (1u64 << self.corrupt_bit));
+        }
+        data
+    }
+}
+
+/// Raw envelope delivery between the world ranks of one job.
+///
+/// Implementations must provide reliable, per-sender-ordered delivery of
+/// whole envelopes (like MPI's transport layer); everything above — tag
+/// matching, contexts, timeouts, statistics, fault injection — lives in the
+/// [`crate::Communicator`] and is shared by every transport.
+pub trait Transport {
+    /// This process/thread's world rank.
+    fn world_rank(&self) -> usize;
+
+    /// Number of ranks in the world.
+    fn world_size(&self) -> usize;
+
+    /// Deliver `env` to world rank `peer` (buffered, non-blocking: the
+    /// call returns once the envelope is handed to the wire, not when the
+    /// peer receives it).  Sending to the own rank loops back locally.
+    fn send(&self, peer: usize, env: Envelope) -> CommResult<()>;
+
+    /// Next incoming envelope, waiting up to `timeout`; `None` on timeout
+    /// (or when delivery has shut down, which the caller treats the same).
+    fn recv(&self, timeout: Duration) -> Option<Envelope>;
+
+    /// Next incoming envelope if one is already queued.
+    fn try_recv(&self) -> Option<Envelope>;
+
+    /// Wire-level traffic counters, for transports that move real bytes
+    /// (`None` for in-memory transports).
+    fn wire_stats(&self) -> Option<WireStats> {
+        None
+    }
+
+    /// Short transport name for diagnostics (`"mpsc"`, `"uds"`, `"tcp"`).
+    fn name(&self) -> &'static str;
+}
+
+// ---------------------------------------------------------------------------
+// In-memory transport (thread-backed ranks)
+// ---------------------------------------------------------------------------
+
+/// The original in-memory transport: one `std::sync::mpsc` channel per
+/// rank, all ranks living in one process as threads.
+pub struct MpscTransport {
+    rank: usize,
+    senders: Arc<Vec<Sender<Envelope>>>,
+    rx: Receiver<Envelope>,
+}
+
+impl MpscTransport {
+    /// Build the full mesh for a `p`-rank world; element `i` is rank `i`'s
+    /// transport (move it to that rank's thread).
+    pub fn mesh(p: usize) -> Vec<MpscTransport> {
+        assert!(p >= 1, "need at least one rank");
+        let mut senders = Vec::with_capacity(p);
+        let mut receivers = Vec::with_capacity(p);
+        for _ in 0..p {
+            let (tx, rx) = channel::<Envelope>();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        let senders = Arc::new(senders);
+        receivers
+            .into_iter()
+            .enumerate()
+            .map(|(rank, rx)| MpscTransport {
+                rank,
+                senders: Arc::clone(&senders),
+                rx,
+            })
+            .collect()
+    }
+}
+
+impl Transport for MpscTransport {
+    fn world_rank(&self) -> usize {
+        self.rank
+    }
+
+    fn world_size(&self) -> usize {
+        self.senders.len()
+    }
+
+    fn send(&self, peer: usize, env: Envelope) -> CommResult<()> {
+        self.senders[peer]
+            .send(env)
+            .map_err(|_| CommError::PeerGone { peer })
+    }
+
+    fn recv(&self, timeout: Duration) -> Option<Envelope> {
+        self.rx.recv_timeout(timeout).ok()
+    }
+
+    fn try_recv(&self) -> Option<Envelope> {
+        self.rx.try_recv().ok()
+    }
+
+    fn name(&self) -> &'static str {
+        "mpsc"
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Wire framing
+// ---------------------------------------------------------------------------
+
+/// Fixed frame header size in bytes (see the module docs for the layout).
+pub const WIRE_HEADER_BYTES: u64 = 44;
+
+/// Trailing checksum size in bytes.
+pub const WIRE_TRAILER_BYTES: u64 = 8;
+
+/// Total per-message wire overhead: a frame carrying `n` payload words is
+/// exactly `WIRE_OVERHEAD_BYTES + 8 n` bytes on the wire.
+pub const WIRE_OVERHEAD_BYTES: u64 = WIRE_HEADER_BYTES + WIRE_TRAILER_BYTES;
+
+/// Upper bound on payload words accepted from the wire; a corrupted length
+/// prefix must not trigger a multi-gigabyte allocation.
+const MAX_WIRE_WORDS: u32 = 1 << 28;
+
+fn encode_frame(env: &Envelope) -> Vec<u8> {
+    let n = env.data.len();
+    let mut buf = Vec::with_capacity(WIRE_OVERHEAD_BYTES as usize + 8 * n);
+    buf.extend_from_slice(&(n as u32).to_le_bytes());
+    buf.extend_from_slice(&env.ctx.to_le_bytes());
+    buf.extend_from_slice(&(env.src_global as u32).to_le_bytes());
+    buf.extend_from_slice(&env.tag.to_le_bytes());
+    buf.extend_from_slice(&env.drops.to_le_bytes());
+    buf.extend_from_slice(&env.corrupt.to_le_bytes());
+    buf.extend_from_slice(&env.corrupt_bit.to_le_bytes());
+    buf.extend_from_slice(&(env.redundant as u32).to_le_bytes());
+    buf.extend_from_slice(&env.corrupt_seed.to_le_bytes());
+    for v in &env.data {
+        buf.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+    let ck = fault::checksum_bytes(&buf);
+    buf.extend_from_slice(&ck.to_le_bytes());
+    buf
+}
+
+fn u32_at(buf: &[u8], at: usize) -> u32 {
+    u32::from_le_bytes(buf[at..at + 4].try_into().expect("4 bytes"))
+}
+
+fn u64_at(buf: &[u8], at: usize) -> u64 {
+    u64::from_le_bytes(buf[at..at + 8].try_into().expect("8 bytes"))
+}
+
+/// Fill `buf`; `Ok(false)` on clean EOF *before* the first byte,
+/// `UnexpectedEof` on EOF mid-buffer.
+fn read_exact_or_eof(r: &mut impl Read, buf: &mut [u8]) -> io::Result<bool> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) if filled == 0 => return Ok(false),
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-frame",
+                ))
+            }
+            Ok(k) => filled += k,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(true)
+}
+
+/// Read and validate one frame; `Ok(None)` on clean EOF.  Returns the
+/// envelope plus its total on-wire size.
+fn read_frame(r: &mut impl Read) -> io::Result<Option<(Envelope, u64)>> {
+    let mut header = [0u8; WIRE_HEADER_BYTES as usize];
+    if !read_exact_or_eof(r, &mut header)? {
+        return Ok(None);
+    }
+    let n = u32_at(&header, 0);
+    if n > MAX_WIRE_WORDS {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame claims {n} payload words"),
+        ));
+    }
+    let mut body = vec![0u8; 8 * n as usize + WIRE_TRAILER_BYTES as usize];
+    r.read_exact(&mut body)?;
+    let (payload, trailer) = body.split_at(8 * n as usize);
+    let stored = u64_at(trailer, 0);
+    let mut h = fault::checksum_bytes(&header);
+    // continue the running FNV-1a over the payload bytes
+    for &b in payload {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    if stored != h {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame checksum {h:#018x} != stored {stored:#018x}"),
+        ));
+    }
+    let data: Vec<f64> = payload
+        .chunks_exact(8)
+        .map(|c| f64::from_bits(u64::from_le_bytes(c.try_into().expect("8 bytes"))))
+        .collect();
+    let env = Envelope {
+        ctx: u64_at(&header, 4),
+        src_global: u32_at(&header, 12) as usize,
+        tag: u32_at(&header, 16),
+        drops: u32_at(&header, 20),
+        corrupt: u32_at(&header, 24),
+        corrupt_bit: u32_at(&header, 28),
+        corrupt_seed: u64_at(&header, 36),
+        redundant: u32_at(&header, 32) & 1 != 0,
+        data,
+    };
+    Ok(Some((env, WIRE_OVERHEAD_BYTES + 8 * n as u64)))
+}
+
+// ---------------------------------------------------------------------------
+// Wire statistics
+// ---------------------------------------------------------------------------
+
+/// Wire-level traffic counters of a byte-stream transport: *actual* frames
+/// and bytes moved, including checksum framing and redundant (injected
+/// duplicate) deliveries that the logical [`crate::CommStats`] deliberately
+/// excludes.  Loopback (self-send) frames are counted as if they crossed
+/// the wire, so the identity `bytes = 8·elems + OVERHEAD·msgs` holds
+/// exactly against the logical counters on fault-free runs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WireStats {
+    /// Frames written.
+    pub msgs_sent: u64,
+    /// Bytes written (headers + payloads + checksums).
+    pub bytes_sent: u64,
+    /// Frames read.
+    pub msgs_recvd: u64,
+    /// Bytes read.
+    pub bytes_recvd: u64,
+}
+
+impl WireStats {
+    /// Counters accumulated since `earlier` (a previous snapshot).
+    pub fn delta(&self, earlier: &WireStats) -> WireStats {
+        WireStats {
+            msgs_sent: self.msgs_sent - earlier.msgs_sent,
+            bytes_sent: self.bytes_sent - earlier.bytes_sent,
+            msgs_recvd: self.msgs_recvd - earlier.msgs_recvd,
+            bytes_recvd: self.bytes_recvd - earlier.bytes_recvd,
+        }
+    }
+}
+
+#[derive(Default)]
+struct WireCounters {
+    msgs_sent: AtomicU64,
+    bytes_sent: AtomicU64,
+    msgs_recvd: AtomicU64,
+    bytes_recvd: AtomicU64,
+}
+
+impl WireCounters {
+    fn record_sent(&self, bytes: u64) {
+        self.msgs_sent.fetch_add(1, Ordering::Relaxed);
+        self.bytes_sent.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    fn record_recvd(&self, bytes: u64) {
+        self.msgs_recvd.fetch_add(1, Ordering::Relaxed);
+        self.bytes_recvd.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> WireStats {
+        WireStats {
+            msgs_sent: self.msgs_sent.load(Ordering::Relaxed),
+            bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
+            msgs_recvd: self.msgs_recvd.load(Ordering::Relaxed),
+            bytes_recvd: self.bytes_recvd.load(Ordering::Relaxed),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Socket transport
+// ---------------------------------------------------------------------------
+
+/// Where a socket-backed world lives.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Endpoint {
+    /// Unix-domain sockets: rank `i` listens on path `<base>.<i>`.
+    #[cfg(unix)]
+    Unix(PathBuf),
+    /// TCP fallback: rank `i` listens on `host : port + i`.
+    Tcp(String, u16),
+}
+
+impl Endpoint {
+    /// Parse an endpoint string: `tcp:<host>:<base-port>` selects TCP,
+    /// anything else is a Unix-domain socket base path.
+    pub fn parse(s: &str) -> Result<Endpoint, String> {
+        if let Some(rest) = s.strip_prefix("tcp:") {
+            let (host, port) = rest
+                .rsplit_once(':')
+                .ok_or_else(|| format!("tcp endpoint '{s}' needs host:port"))?;
+            let port: u16 = port
+                .parse()
+                .map_err(|e| format!("tcp endpoint '{s}': bad port: {e}"))?;
+            if host.is_empty() {
+                return Err(format!("tcp endpoint '{s}' has an empty host"));
+            }
+            return Ok(Endpoint::Tcp(host.to_string(), port));
+        }
+        #[cfg(unix)]
+        {
+            if s.is_empty() {
+                return Err("empty endpoint".to_string());
+            }
+            Ok(Endpoint::Unix(PathBuf::from(s)))
+        }
+        #[cfg(not(unix))]
+        Err(format!(
+            "unix-domain endpoint '{s}' unsupported on this platform"
+        ))
+    }
+
+    /// A fresh Unix-domain endpoint under the system temp directory, unique
+    /// to this process and call (test/bench convenience).
+    #[cfg(unix)]
+    pub fn unique_uds() -> Endpoint {
+        static N: AtomicU64 = AtomicU64::new(0);
+        let n = N.fetch_add(1, Ordering::Relaxed);
+        Endpoint::Unix(std::env::temp_dir().join(format!("agcm-{}-{n}.ep", std::process::id())))
+    }
+}
+
+impl std::fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            #[cfg(unix)]
+            Endpoint::Unix(p) => write!(f, "{}", p.display()),
+            Endpoint::Tcp(host, port) => write!(f, "tcp:{host}:{port}"),
+        }
+    }
+}
+
+enum Conn {
+    #[cfg(unix)]
+    Unix(UnixStream),
+    Tcp(TcpStream),
+}
+
+impl Conn {
+    fn set_read_timeout(&self, t: Option<Duration>) -> io::Result<()> {
+        match self {
+            #[cfg(unix)]
+            Conn::Unix(s) => s.set_read_timeout(t),
+            Conn::Tcp(s) => s.set_read_timeout(t),
+        }
+    }
+}
+
+impl Read for Conn {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            #[cfg(unix)]
+            Conn::Unix(s) => s.read(buf),
+            Conn::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Conn {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            #[cfg(unix)]
+            Conn::Unix(s) => s.write(buf),
+            Conn::Tcp(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            #[cfg(unix)]
+            Conn::Unix(s) => s.flush(),
+            Conn::Tcp(s) => s.flush(),
+        }
+    }
+}
+
+enum Listener {
+    #[cfg(unix)]
+    Unix(UnixListener),
+    Tcp(TcpListener),
+}
+
+impl Listener {
+    fn set_nonblocking(&self, v: bool) -> io::Result<()> {
+        match self {
+            #[cfg(unix)]
+            Listener::Unix(l) => l.set_nonblocking(v),
+            Listener::Tcp(l) => l.set_nonblocking(v),
+        }
+    }
+
+    fn accept(&self) -> io::Result<Conn> {
+        match self {
+            #[cfg(unix)]
+            Listener::Unix(l) => l.accept().map(|(s, _)| Conn::Unix(s)),
+            Listener::Tcp(l) => l.accept().map(|(s, _)| {
+                let _ = s.set_nodelay(true);
+                Conn::Tcp(s)
+            }),
+        }
+    }
+}
+
+const HELLO_MAGIC: u64 = u64::from_le_bytes(*b"AGCMWIRE");
+const HELLO_VERSION: u32 = 1;
+const HELLO_BYTES: usize = 20;
+
+fn encode_hello(rank: usize, size: usize) -> [u8; HELLO_BYTES] {
+    let mut b = [0u8; HELLO_BYTES];
+    b[0..8].copy_from_slice(&HELLO_MAGIC.to_le_bytes());
+    b[8..12].copy_from_slice(&HELLO_VERSION.to_le_bytes());
+    b[12..16].copy_from_slice(&(rank as u32).to_le_bytes());
+    b[16..20].copy_from_slice(&(size as u32).to_le_bytes());
+    b
+}
+
+fn bad_data(msg: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+fn decode_hello(b: &[u8; HELLO_BYTES], expect_size: usize) -> io::Result<usize> {
+    if u64_at(b, 0) != HELLO_MAGIC {
+        return Err(bad_data("handshake: bad magic".to_string()));
+    }
+    let version = u32_at(b, 8);
+    if version != HELLO_VERSION {
+        return Err(bad_data(format!("handshake: wire version {version}")));
+    }
+    let rank = u32_at(b, 12) as usize;
+    let size = u32_at(b, 16) as usize;
+    if size != expect_size || rank >= size {
+        return Err(bad_data(format!(
+            "handshake: rank {rank} of world {size}, expected world {expect_size}"
+        )));
+    }
+    Ok(rank)
+}
+
+/// A byte-stream transport over Unix-domain sockets (or TCP): each rank is
+/// its own OS process (or thread), envelopes travel as checksummed frames
+/// through the kernel.  See the module docs for the wire format.
+pub struct SocketTransport {
+    rank: usize,
+    size: usize,
+    kind: &'static str,
+    /// One simplex outgoing connection per peer (`None` at the own rank).
+    writers: Vec<Option<RefCell<Conn>>>,
+    /// Local loopback for self-sends; also keeps `rx` alive after every
+    /// reader thread exited.
+    loopback: Sender<Envelope>,
+    rx: Receiver<Envelope>,
+    counters: Arc<WireCounters>,
+    /// Own listening socket path, removed on drop (Unix only).
+    listen_path: Option<PathBuf>,
+}
+
+impl SocketTransport {
+    /// Join the `size`-rank world at `endpoint` as world rank `rank`,
+    /// using [`crate::default_timeout`] as the handshake deadline.
+    pub fn connect(rank: usize, size: usize, endpoint: &Endpoint) -> io::Result<SocketTransport> {
+        Self::connect_timeout(rank, size, endpoint, crate::runtime::default_timeout())
+    }
+
+    /// Build a transport from the launcher handshake environment
+    /// (`AGCM_RANK`, `AGCM_WORLD_SIZE`, `AGCM_ENDPOINT`); `None` when
+    /// `AGCM_RANK` is unset (not launched by `agcm-run`).  Malformed values
+    /// fail loudly via the strict env parser.
+    pub fn from_env() -> Option<io::Result<SocketTransport>> {
+        let rank: usize = match crate::env::parse_env("AGCM_RANK") {
+            Ok(v) => v?,
+            Err(e) => panic!("{e}"),
+        };
+        let size: usize = crate::env::parse_env_or("AGCM_WORLD_SIZE", 0);
+        let ep = match crate::env::parse_env::<String>("AGCM_ENDPOINT") {
+            Ok(Some(s)) => s,
+            Ok(None) => return Some(Err(bad_data("AGCM_RANK set without AGCM_ENDPOINT".into()))),
+            Err(e) => panic!("{e}"),
+        };
+        Some(match Endpoint::parse(&ep) {
+            Ok(ep) if rank < size => Self::connect(rank, size, &ep),
+            Ok(_) => Err(bad_data(format!(
+                "AGCM_RANK={rank} outside AGCM_WORLD_SIZE={size}"
+            ))),
+            Err(e) => Err(bad_data(format!("AGCM_ENDPOINT: {e}"))),
+        })
+    }
+
+    /// Like [`SocketTransport::connect`] with an explicit handshake
+    /// deadline covering listener setup, all outgoing connections and all
+    /// incoming handshakes.
+    pub fn connect_timeout(
+        rank: usize,
+        size: usize,
+        endpoint: &Endpoint,
+        timeout: Duration,
+    ) -> io::Result<SocketTransport> {
+        assert!(size >= 1, "need at least one rank");
+        assert!(rank < size, "rank {rank} outside world of {size}");
+        let deadline = Instant::now() + timeout;
+        let (kind, listener, listen_path) = match endpoint {
+            #[cfg(unix)]
+            Endpoint::Unix(base) => {
+                let path = uds_path(base, rank);
+                // a stale socket file from a crashed previous run would
+                // make bind fail; the path is namespaced per run by the
+                // launcher, so removing it is safe
+                let _ = std::fs::remove_file(&path);
+                (
+                    "uds",
+                    Listener::Unix(UnixListener::bind(&path)?),
+                    Some(path),
+                )
+            }
+            Endpoint::Tcp(host, port) => (
+                "tcp",
+                Listener::Tcp(TcpListener::bind((host.as_str(), tcp_port(*port, rank)?))?),
+                None,
+            ),
+        };
+        let (tx, rx) = channel::<Envelope>();
+        let counters = Arc::new(WireCounters::default());
+
+        // Accept the size-1 incoming connections on a helper thread while
+        // this thread dials out, so no connect ordering can deadlock the
+        // mesh.  Each accepted peer gets a detached reader thread that
+        // decodes frames into the internal channel; draining the wire
+        // eagerly is what preserves the runtime's buffered non-blocking
+        // send semantics (a sender can never block on a full pipe).
+        let (done_tx, done_rx) = channel::<io::Result<()>>();
+        if size > 1 {
+            let tx = tx.clone();
+            let counters = Arc::clone(&counters);
+            std::thread::spawn(move || {
+                let r = accept_all(listener, size, deadline, &tx, &counters);
+                let _ = done_tx.send(r);
+            });
+        } else {
+            drop(listener);
+            let _ = done_tx.send(Ok(()));
+        }
+
+        let mut writers = Vec::with_capacity(size);
+        for peer in 0..size {
+            if peer == rank {
+                writers.push(None);
+                continue;
+            }
+            let mut conn = dial(endpoint, peer, deadline)?;
+            conn.write_all(&encode_hello(rank, size))?;
+            conn.flush()?;
+            writers.push(Some(RefCell::new(conn)));
+        }
+
+        // wait for the incoming half of the mesh: a successful return
+        // means every peer process is up and fully connected to us
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        match done_rx.recv_timeout(remaining.max(Duration::from_millis(1))) {
+            Ok(r) => r?,
+            Err(_) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    format!("rank {rank}: incoming mesh incomplete after {timeout:?}"),
+                ))
+            }
+        }
+
+        Ok(SocketTransport {
+            rank,
+            size,
+            kind,
+            writers,
+            loopback: tx,
+            rx,
+            counters,
+            listen_path,
+        })
+    }
+}
+
+#[cfg(unix)]
+fn uds_path(base: &std::path::Path, rank: usize) -> PathBuf {
+    let mut os = base.as_os_str().to_os_string();
+    os.push(format!(".{rank}"));
+    PathBuf::from(os)
+}
+
+fn tcp_port(base: u16, rank: usize) -> io::Result<u16> {
+    base.checked_add(
+        u16::try_from(rank)
+            .ok()
+            .ok_or_else(|| bad_data(format!("rank {rank} too large for a tcp port range")))?,
+    )
+    .ok_or_else(|| bad_data(format!("tcp port {base}+{rank} overflows")))
+}
+
+/// Dial `peer`'s listener, retrying while it may not be up yet.
+fn dial(endpoint: &Endpoint, peer: usize, deadline: Instant) -> io::Result<Conn> {
+    loop {
+        let attempt = match endpoint {
+            #[cfg(unix)]
+            Endpoint::Unix(base) => UnixStream::connect(uds_path(base, peer)).map(Conn::Unix),
+            Endpoint::Tcp(host, port) => {
+                TcpStream::connect((host.as_str(), tcp_port(*port, peer)?)).map(|s| {
+                    let _ = s.set_nodelay(true);
+                    Conn::Tcp(s)
+                })
+            }
+        };
+        match attempt {
+            Ok(conn) => return Ok(conn),
+            Err(e) => {
+                let transient = matches!(
+                    e.kind(),
+                    io::ErrorKind::ConnectionRefused
+                        | io::ErrorKind::ConnectionReset
+                        | io::ErrorKind::NotFound
+                        | io::ErrorKind::AddrNotAvailable
+                );
+                if !transient || Instant::now() >= deadline {
+                    return Err(io::Error::new(
+                        e.kind(),
+                        format!("dialing peer {peer}: {e}"),
+                    ));
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        }
+    }
+}
+
+/// Accept, handshake and spawn a reader for each of the `size - 1` peers.
+fn accept_all(
+    listener: Listener,
+    size: usize,
+    deadline: Instant,
+    tx: &Sender<Envelope>,
+    counters: &Arc<WireCounters>,
+) -> io::Result<()> {
+    listener.set_nonblocking(true)?;
+    let mut seen = vec![false; size];
+    for _ in 0..size - 1 {
+        let mut conn = loop {
+            match listener.accept() {
+                Ok(c) => break c,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    if Instant::now() >= deadline {
+                        return Err(io::Error::new(
+                            io::ErrorKind::TimedOut,
+                            "timed out accepting peer connections",
+                        ));
+                    }
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        };
+        conn.set_read_timeout(Some(
+            deadline
+                .saturating_duration_since(Instant::now())
+                .max(Duration::from_millis(1)),
+        ))?;
+        let mut hello = [0u8; HELLO_BYTES];
+        conn.read_exact(&mut hello)?;
+        let peer = decode_hello(&hello, size)?;
+        if std::mem::replace(&mut seen[peer], true) {
+            return Err(bad_data(format!("peer {peer} connected twice")));
+        }
+        conn.set_read_timeout(None)?;
+        let tx = tx.clone();
+        let counters = Arc::clone(counters);
+        std::thread::spawn(move || reader_loop(conn, peer, tx, counters));
+    }
+    Ok(())
+}
+
+/// Decode frames from one incoming connection into the internal queue.  A
+/// clean EOF (peer finished and dropped its transport) simply ends the
+/// stream; a validation failure poisons the mailbox — after a torn or
+/// corrupted frame the stream position cannot be trusted, so the peer is
+/// treated as failed rather than risking silent desynchronization.
+fn reader_loop(mut conn: Conn, peer: usize, tx: Sender<Envelope>, counters: Arc<WireCounters>) {
+    loop {
+        match read_frame(&mut conn) {
+            Ok(Some((env, bytes))) => {
+                counters.record_recvd(bytes);
+                if tx.send(env).is_err() {
+                    return;
+                }
+            }
+            Ok(None) => return,
+            Err(_) => {
+                let _ = tx.send(Envelope::poison(peer));
+                return;
+            }
+        }
+    }
+}
+
+impl Transport for SocketTransport {
+    fn world_rank(&self) -> usize {
+        self.rank
+    }
+
+    fn world_size(&self) -> usize {
+        self.size
+    }
+
+    fn send(&self, peer: usize, env: Envelope) -> CommResult<()> {
+        if peer == self.rank {
+            // loopback: counted as if it crossed the wire so the byte
+            // identity against the logical stats stays exact
+            let bytes = WIRE_OVERHEAD_BYTES + 8 * env.data.len() as u64;
+            self.counters.record_sent(bytes);
+            self.counters.record_recvd(bytes);
+            return self
+                .loopback
+                .send(env)
+                .map_err(|_| CommError::PeerGone { peer });
+        }
+        let buf = encode_frame(&env);
+        let cell = self.writers[peer]
+            .as_ref()
+            .ok_or(CommError::PeerGone { peer })?;
+        cell.borrow_mut()
+            .write_all(&buf)
+            .map_err(|_| CommError::PeerGone { peer })?;
+        self.counters.record_sent(buf.len() as u64);
+        Ok(())
+    }
+
+    fn recv(&self, timeout: Duration) -> Option<Envelope> {
+        self.rx.recv_timeout(timeout).ok()
+    }
+
+    fn try_recv(&self) -> Option<Envelope> {
+        self.rx.try_recv().ok()
+    }
+
+    fn wire_stats(&self) -> Option<WireStats> {
+        Some(self.counters.snapshot())
+    }
+
+    fn name(&self) -> &'static str {
+        self.kind
+    }
+}
+
+impl Drop for SocketTransport {
+    fn drop(&mut self) {
+        // closing the writers (field drop) EOFs every peer's reader; the
+        // listening socket file is ours to clean up
+        if let Some(path) = &self.listen_path {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_env() -> Envelope {
+        let mut env = Envelope::new(7, 3, 0x8000_1234, vec![1.5, -2.25, f64::NAN, 0.0]);
+        env.drops = 1;
+        env.corrupt = 2;
+        env.corrupt_bit = 51;
+        env.corrupt_seed = 0xDEAD_BEEF;
+        env.redundant = true;
+        env
+    }
+
+    fn assert_env_eq(a: &Envelope, b: &Envelope) {
+        assert_eq!(a.ctx, b.ctx);
+        assert_eq!(a.src_global, b.src_global);
+        assert_eq!(a.tag, b.tag);
+        assert_eq!(a.drops, b.drops);
+        assert_eq!(a.corrupt, b.corrupt);
+        assert_eq!(a.corrupt_bit, b.corrupt_bit);
+        assert_eq!(a.corrupt_seed, b.corrupt_seed);
+        assert_eq!(a.redundant, b.redundant);
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&a.data), bits(&b.data));
+    }
+
+    #[test]
+    fn frame_round_trips_bitwise() {
+        let env = sample_env();
+        let buf = encode_frame(&env);
+        assert_eq!(buf.len() as u64, WIRE_OVERHEAD_BYTES + 8 * 4);
+        let (back, bytes) = read_frame(&mut &buf[..]).unwrap().unwrap();
+        assert_eq!(bytes, buf.len() as u64);
+        assert_env_eq(&env, &back);
+    }
+
+    #[test]
+    fn empty_payload_frame_round_trips() {
+        let env = Envelope::poison(5);
+        let buf = encode_frame(&env);
+        assert_eq!(buf.len() as u64, WIRE_OVERHEAD_BYTES);
+        let (back, _) = read_frame(&mut &buf[..]).unwrap().unwrap();
+        assert_eq!(back.ctx, POISON_CTX);
+        assert_eq!(back.src_global, 5);
+    }
+
+    #[test]
+    fn clean_eof_is_none() {
+        assert!(read_frame(&mut io::empty()).unwrap().is_none());
+    }
+
+    #[test]
+    fn corrupted_frame_is_rejected() {
+        let buf = encode_frame(&sample_env());
+        // flip one bit anywhere except the (self-checking) length prefix
+        for at in [6usize, 20, 50, buf.len() - 1] {
+            let mut bad = buf.clone();
+            bad[at] ^= 0x10;
+            let err = read_frame(&mut &bad[..]).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData, "byte {at}");
+        }
+    }
+
+    #[test]
+    fn truncated_frame_is_mid_frame_eof() {
+        let buf = encode_frame(&sample_env());
+        let err = read_frame(&mut &buf[..buf.len() - 3]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn absurd_length_prefix_is_rejected_without_allocating() {
+        let mut buf = encode_frame(&Envelope::new(0, 0, 0, vec![]));
+        buf[0..4].copy_from_slice(&u32::MAX.to_le_bytes());
+        let err = read_frame(&mut &buf[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn endpoint_parse_round_trips() {
+        let tcp = Endpoint::parse("tcp:127.0.0.1:9000").unwrap();
+        assert_eq!(tcp, Endpoint::Tcp("127.0.0.1".into(), 9000));
+        assert_eq!(Endpoint::parse(&tcp.to_string()).unwrap(), tcp);
+        assert!(Endpoint::parse("tcp:nohost").is_err());
+        assert!(Endpoint::parse("tcp::9000").is_err());
+        assert!(Endpoint::parse("tcp:h:notaport").is_err());
+        #[cfg(unix)]
+        {
+            let uds = Endpoint::parse("/tmp/agcm.ep").unwrap();
+            assert_eq!(uds, Endpoint::Unix(PathBuf::from("/tmp/agcm.ep")));
+            assert_eq!(Endpoint::parse(&uds.to_string()).unwrap(), uds);
+        }
+    }
+
+    #[test]
+    fn hello_round_trips_and_validates() {
+        let b = encode_hello(3, 8);
+        assert_eq!(decode_hello(&b, 8).unwrap(), 3);
+        assert!(decode_hello(&b, 4).is_err(), "world size mismatch");
+        let mut bad = b;
+        bad[0] ^= 1;
+        assert!(decode_hello(&bad, 8).is_err(), "bad magic");
+    }
+
+    #[test]
+    fn mpsc_mesh_delivers_and_loops_back() {
+        let mesh = MpscTransport::mesh(2);
+        assert_eq!(mesh[0].world_size(), 2);
+        mesh[0].send(1, Envelope::new(0, 0, 9, vec![4.0])).unwrap();
+        mesh[1].send(1, Envelope::new(0, 1, 9, vec![5.0])).unwrap();
+        let a = mesh[1].recv(Duration::from_secs(1)).unwrap();
+        let b = mesh[1].recv(Duration::from_secs(1)).unwrap();
+        assert_eq!(a.data, vec![4.0]);
+        assert_eq!(b.data, vec![5.0]);
+        assert!(mesh[0].try_recv().is_none());
+        assert!(mesh[0].wire_stats().is_none());
+    }
+
+    /// One mesh world as threads, each with its own socket transport.
+    fn socket_world<T: Send>(
+        p: usize,
+        endpoint: &Endpoint,
+        f: impl Fn(SocketTransport) -> T + Sync,
+    ) -> Vec<T> {
+        let mut out: Vec<Option<T>> = (0..p).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            for (rank, slot) in out.iter_mut().enumerate() {
+                let f = &f;
+                scope.spawn(move || {
+                    let tr = SocketTransport::connect_timeout(
+                        rank,
+                        p,
+                        endpoint,
+                        Duration::from_secs(20),
+                    )
+                    .expect("connect");
+                    *slot = Some(f(tr));
+                });
+            }
+        });
+        out.into_iter().map(|v| v.expect("joined")).collect()
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn uds_world_exchanges_envelopes_bitwise() {
+        let ep = Endpoint::unique_uds();
+        let results = socket_world(3, &ep, |tr| {
+            assert_eq!(tr.name(), "uds");
+            let next = (tr.world_rank() + 1) % 3;
+            let payload = vec![
+                tr.world_rank() as f64,
+                f64::from_bits(0x7FF0_0000_0000_0001),
+            ];
+            tr.send(next, Envelope::new(0, tr.world_rank(), 1, payload))
+                .unwrap();
+            let env = tr.recv(Duration::from_secs(10)).expect("delivered");
+            (
+                env.src_global,
+                env.data.iter().map(|v| v.to_bits()).sum::<u64>(),
+            )
+        });
+        for (rank, (src, _)) in results.iter().enumerate() {
+            assert_eq!(*src, (rank + 2) % 3);
+        }
+        let payload_bits = |r: usize| (r as f64).to_bits().wrapping_add(0x7FF0_0000_0000_0001);
+        for (rank, (_, bits)) in results.iter().enumerate() {
+            assert_eq!(*bits, payload_bits((rank + 2) % 3), "bitwise payload");
+        }
+    }
+
+    #[test]
+    fn tcp_world_exchanges_envelopes() {
+        // fixed base port for the test; retried dial tolerates slow bind
+        let ep = Endpoint::Tcp("127.0.0.1".into(), 39211);
+        let results = socket_world(2, &ep, |tr| {
+            assert_eq!(tr.name(), "tcp");
+            let other = 1 - tr.world_rank();
+            tr.send(other, Envelope::new(0, tr.world_rank(), 2, vec![2.5]))
+                .unwrap();
+            tr.recv(Duration::from_secs(10))
+                .expect("delivered")
+                .src_global
+        });
+        assert_eq!(results, vec![1, 0]);
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn wire_stats_count_exact_frame_bytes() {
+        let ep = Endpoint::unique_uds();
+        let stats = socket_world(2, &ep, |tr| {
+            let other = 1 - tr.world_rank();
+            tr.send(other, Envelope::new(0, tr.world_rank(), 1, vec![0.0; 16]))
+                .unwrap();
+            tr.send(
+                tr.world_rank(),
+                Envelope::new(0, tr.world_rank(), 2, vec![]),
+            )
+            .unwrap();
+            let mut got = 0;
+            while got < 2 {
+                if tr.recv(Duration::from_secs(10)).is_some() {
+                    got += 1;
+                }
+            }
+            tr.wire_stats().unwrap()
+        });
+        for s in stats {
+            // one 16-word frame to the peer + one empty loopback frame
+            assert_eq!(s.msgs_sent, 2);
+            assert_eq!(
+                s.bytes_sent,
+                (WIRE_OVERHEAD_BYTES + 128) + WIRE_OVERHEAD_BYTES
+            );
+            assert_eq!(s.msgs_recvd, 2);
+            assert_eq!(s.bytes_recvd, s.bytes_sent);
+        }
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn single_rank_world_needs_no_peers() {
+        let ep = Endpoint::unique_uds();
+        let tr =
+            SocketTransport::connect_timeout(0, 1, &ep, Duration::from_secs(5)).expect("connect");
+        tr.send(0, Envelope::new(0, 0, 1, vec![1.0])).unwrap();
+        assert_eq!(tr.recv(Duration::from_secs(1)).unwrap().data, vec![1.0]);
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn listener_socket_file_removed_on_drop() {
+        let ep = Endpoint::unique_uds();
+        let path = match &ep {
+            Endpoint::Unix(base) => uds_path(base, 0),
+            #[allow(unreachable_patterns)]
+            _ => unreachable!(),
+        };
+        let tr = SocketTransport::connect_timeout(0, 1, &ep, Duration::from_secs(5)).unwrap();
+        assert!(path.exists());
+        drop(tr);
+        assert!(!path.exists());
+    }
+}

@@ -35,11 +35,9 @@ thread_local! {
 }
 
 fn env_workers() -> usize {
-    std::env::var("AGCM_THREADS")
-        .ok()
-        .and_then(|s| s.trim().parse::<usize>().ok())
-        .unwrap_or(1)
-        .clamp(1, MAX_WORKERS)
+    // strict parse: `AGCM_THREADS=8x` must fail loudly, not silently run
+    // single-threaded
+    agcm_comm::env::parse_env_or("AGCM_THREADS", 1usize).clamp(1, MAX_WORKERS)
 }
 
 /// Number of intra-rank workers for kernel sweeps.

@@ -284,15 +284,59 @@ pub fn read_checkpoint_from(reader: &mut impl Read) -> io::Result<Checkpoint> {
     })
 }
 
-/// Write a checkpoint file (buffered, atomic-ish: tmp + rename).
+/// Write a checkpoint file durably and atomically.
+///
+/// A checkpoint only earns its keep if it survives the crash that makes it
+/// necessary, so the write path is the full crash-consistency dance:
+/// serialize to `<path>.tmp`, `fsync` the file (a rename can commit a name
+/// to an *empty* inode if the data is still in the page cache), rename over
+/// `path`, then `fsync` the parent directory so the rename itself is on
+/// disk.  Any mid-write error removes the `.tmp` so a failed attempt cannot
+/// leave droppings that a later recovery scan could mistake for state.
 pub fn write_checkpoint(path: &Path, ck: &Checkpoint) -> io::Result<()> {
+    write_checkpoint_with(path, &mut |w| write_checkpoint_to(&mut &mut *w, ck))
+}
+
+/// The durable-write machinery behind [`write_checkpoint`], with the body
+/// serialization injectable so tests can force a mid-write failure.
+fn write_checkpoint_with(
+    path: &Path,
+    write_body: &mut dyn FnMut(&mut dyn Write) -> io::Result<()>,
+) -> io::Result<()> {
     let tmp = path.with_extension("tmp");
-    {
-        let mut w = io::BufWriter::new(std::fs::File::create(&tmp)?);
-        write_checkpoint_to(&mut w, ck)?;
+    let result = (|| {
+        let file = std::fs::File::create(&tmp)?;
+        let mut w = io::BufWriter::new(&file);
+        write_body(&mut w)?;
         w.flush()?;
+        drop(w);
+        file.sync_all()?;
+        std::fs::rename(&tmp, path)?;
+        sync_parent_dir(path)
+    })();
+    if result.is_err() {
+        // best-effort: the primary error is the one worth reporting
+        let _ = std::fs::remove_file(&tmp);
     }
-    std::fs::rename(&tmp, path)
+    result
+}
+
+/// `fsync` the directory containing `path`, making a just-completed rename
+/// durable.  Directory handles cannot be synced on all platforms; where
+/// they cannot, this is a no-op (the rename is still atomic, just not
+/// crash-durable).
+fn sync_parent_dir(path: &Path) -> io::Result<()> {
+    #[cfg(unix)]
+    {
+        let parent = match path.parent() {
+            Some(p) if !p.as_os_str().is_empty() => p,
+            _ => Path::new("."),
+        };
+        std::fs::File::open(parent)?.sync_all()?;
+    }
+    #[cfg(not(unix))]
+    let _ = path;
+    Ok(())
 }
 
 /// Read a checkpoint file written by [`write_checkpoint`].
@@ -789,6 +833,36 @@ mod tests {
         Resilient::restore(&mut m2, &back);
         m2.run(1);
         assert_eq!(m2.state.max_abs_diff(&gold), 0.0);
+    }
+
+    #[test]
+    fn failed_write_cleans_up_tmp_and_preserves_previous_checkpoint() {
+        let mut m = seeded_serial(Iteration::Approximate);
+        m.run(1);
+        let ck = Resilient::capture(&m);
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("agcm_ckpt_fail_{}.agcmckpt", std::process::id()));
+        let tmp = path.with_extension("tmp");
+        // a good checkpoint is already on disk...
+        write_checkpoint(&path, &ck).unwrap();
+        assert!(!tmp.exists(), "successful write leaves no tmp");
+        // ...then a later write dies mid-serialization
+        let err = write_checkpoint_with(&path, &mut |w| {
+            w.write_all(b"partial garbage")?;
+            w.flush()?;
+            Err(io::Error::other("injected disk-full"))
+        })
+        .unwrap_err();
+        assert_eq!(err.to_string(), "injected disk-full");
+        assert!(
+            !tmp.exists(),
+            "failed write must remove {} so recovery never sees droppings",
+            tmp.display()
+        );
+        // the previous checkpoint survives untouched
+        let back = read_checkpoint(&path).unwrap();
+        assert_eq!(back, ck);
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

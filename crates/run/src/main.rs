@@ -1,0 +1,8 @@
+//! `agcm-run` binary: parent/worker dispatch lives in the library so the
+//! integration tests can drive both roles directly.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    ExitCode::from(agcm_run::main_entry())
+}
