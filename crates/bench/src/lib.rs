@@ -3,7 +3,7 @@
 //! One binary (`figures`) regenerates every table and figure of Xiao et al.
 //! (ICPP 2018) §5, and the Criterion benches under `benches/` measure the
 //! real (thread-backed) implementations at laptop scales plus the design
-//! ablations listed in `DESIGN.md` §10.
+//! ablations listed in `DESIGN.md` §11.
 //!
 //! Reproduction strategy (see `DESIGN.md` §2): the executing runtime
 //! validates the algorithms and their exact per-rank traffic at small rank
@@ -11,6 +11,7 @@
 //! cost model then evaluates the *same* traffic at the paper's 128–1024
 //! ranks.  `EXPERIMENTS.md` records paper-vs-reproduced shapes.
 
+#![forbid(unsafe_code)]
 use agcm_comm::CostModel;
 use agcm_core::analysis::{predict_step_mode, AlgKind, CaMode, StepCost};
 use agcm_core::ModelConfig;

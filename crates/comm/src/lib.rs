@@ -12,6 +12,7 @@
 //! See `DESIGN.md` §2 for the substitution argument.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod collective;
 pub mod env;

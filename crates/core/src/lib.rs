@@ -6,7 +6,9 @@
 //! (ICPP 2018).
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
+pub mod access;
 pub mod adaptation;
 pub mod advection;
 pub mod analysis;

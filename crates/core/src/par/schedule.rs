@@ -94,6 +94,51 @@ pub struct ExchangeOp {
     pub overlapped: bool,
 }
 
+/// Where one compute op's operator-`C` diagnostics (`vsum`, `g_w`, `φ'`)
+/// come from (§4.2.2's approximate iteration).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CSource {
+    /// The kernel does not touch the `C` outputs (advection, smoothing,
+    /// filter).
+    NotUsed,
+    /// Sub-update 1 reuses the previous iteration's cached outputs, whose
+    /// halos the deep/group exchange shipped (Eq. 13).
+    Cached,
+    /// Sub-updates 2 and 3 run `C` fresh on the region — one z-allgather
+    /// when `p_z > 1`.
+    Fresh,
+}
+
+/// One kernel application in the step schedule.  Compute ops carry no
+/// communication; they exist so the dataflow pass (`agcm-verify`) can
+/// replay *which reads happen between which exchanges* and prove every
+/// one covered.  The fields mirror the integrators' call sites exactly
+/// ([`super::Alg1Model`], [`super::CaModel`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ComputeOp {
+    /// Kernel key into [`crate::access::spec`] (`"adaptation"`,
+    /// `"advection"`, `"smooth.s1"`, `"smooth.s2"`, `"filter"`).
+    pub op: &'static str,
+    /// 1-based sweep number within its phase (adaptation `1..=3M`,
+    /// advection `1..=3`).
+    pub sweep: u16,
+    /// Sub-update within the Lin–Rood iteration (`1..=3`; 0 when not a
+    /// sub-update, e.g. smoothing).
+    pub sub: u8,
+    /// Evaluation-region dilation beyond the interior, in halo layers
+    /// (the CA validity countdown; negative = shrunk region, the fused
+    /// former smoothing).
+    pub dilate: i16,
+    /// The kernel snapshots the evaluation state into the iteration base
+    /// (`base.copy_from(psi)`) before reading.
+    pub snapshot_base: bool,
+    /// The kernel reads the iteration base in addition to the evaluation
+    /// state.
+    pub reads_base: bool,
+    /// Operator-`C` usage of this kernel.
+    pub c: CSource,
+}
+
 /// One entry of a step's communication schedule, in program order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum StepOp {
@@ -105,6 +150,8 @@ pub enum StepOp {
     /// One alltoallv leg of the distributed polar filter over the
     /// x-subcommunicator (X-Y decomposition only; two per application).
     FilterTranspose,
+    /// One kernel application (no communication of its own).
+    Compute(ComputeOp),
 }
 
 /// Halo depth of the adaptation/advection sweeps of Algorithm 1 (x needs
@@ -190,14 +237,24 @@ pub fn alg1_step(cfg: &ModelConfig, pgrid: &ProcessGrid) -> Vec<StepOp> {
     let mut ops = Vec::new();
     let sweep = depth_sweep();
     // one filter application = forward + inverse transpose
-    let filter = |ops: &mut Vec<StepOp>| {
+    let filter = |ops: &mut Vec<StepOp>, sweep: u16| {
         if px > 1 {
             ops.push(StepOp::FilterTranspose);
             ops.push(StepOp::FilterTranspose);
         }
+        ops.push(StepOp::Compute(ComputeOp {
+            op: "filter",
+            sweep,
+            sub: 0,
+            dilate: 0,
+            snapshot_base: false,
+            reads_base: false,
+            c: CSource::NotUsed,
+        }));
     };
-    for _iter in 0..cfg.m_iters {
-        for label in ["adapt ψ", "adapt η₁", "adapt mid"] {
+    for iter in 0..cfg.m_iters {
+        for (si, label) in ["adapt ψ", "adapt η₁", "adapt mid"].iter().enumerate() {
+            let s = (3 * iter + si + 1) as u16;
             ops.push(StepOp::Exchange(ExchangeOp {
                 label,
                 depth: sweep,
@@ -208,31 +265,62 @@ pub fn alg1_step(cfg: &ModelConfig, pgrid: &ProcessGrid) -> Vec<StepOp> {
             if pz > 1 {
                 ops.push(StepOp::ZAllgather);
             }
-            filter(&mut ops);
+            ops.push(StepOp::Compute(ComputeOp {
+                op: "adaptation",
+                sweep: s,
+                sub: (si + 1) as u8,
+                dilate: 0,
+                snapshot_base: si == 0,
+                reads_base: true,
+                c: CSource::Fresh,
+            }));
+            filter(&mut ops, s);
         }
     }
     // advection: the frozen g_w travels with the first exchange
+    let advect = |ops: &mut Vec<StepOp>, s: u16| {
+        ops.push(StepOp::Compute(ComputeOp {
+            op: "advection",
+            sweep: s,
+            sub: s as u8,
+            dilate: 0,
+            snapshot_base: s == 1,
+            reads_base: true,
+            c: CSource::NotUsed,
+        }));
+    };
     ops.push(StepOp::Exchange(ExchangeOp {
         label: "advect ψ+g_w",
         depth: sweep,
         fields: ADV5,
         overlapped: false,
     }));
-    filter(&mut ops);
-    for label in ["advect η₁", "advect mid"] {
+    advect(&mut ops, 1);
+    filter(&mut ops, 1);
+    for (si, label) in ["advect η₁", "advect mid"].iter().enumerate() {
         ops.push(StepOp::Exchange(ExchangeOp {
             label,
             depth: sweep,
             fields: STATE4,
             overlapped: false,
         }));
-        filter(&mut ops);
+        advect(&mut ops, (si + 2) as u16);
+        filter(&mut ops, (si + 2) as u16);
     }
     ops.push(StepOp::Exchange(ExchangeOp {
         label: "smooth",
         depth: depth_smooth(),
         fields: STATE4,
         overlapped: false,
+    }));
+    ops.push(StepOp::Compute(ComputeOp {
+        op: "smooth.s1",
+        sweep: 1,
+        sub: 0,
+        dilate: 0,
+        snapshot_base: false,
+        reads_base: false,
+        c: CSource::NotUsed,
     }));
     ops
 }
@@ -248,15 +336,51 @@ pub fn alg1_step(cfg: &ModelConfig, pgrid: &ProcessGrid) -> Vec<StepOp> {
 /// `(s-1) % g == 0`, and sub-updates 2 and 3 of each iteration run the
 /// collective `C` fresh (§4.2.2).
 pub fn alg2_step(cfg: &ModelConfig, pgrid: &ProcessGrid, mode: CaMode) -> Vec<StepOp> {
-    let (_, _, pz) = pgrid.dims();
-    let m = cfg.m_iters;
-    let total = 3 * m;
     let (g, fuse, ga) = match mode {
         CaMode::Grouped => ca_group_size(cfg, pgrid),
-        CaMode::PaperIdeal => (total, true, 3),
+        CaMode::PaperIdeal => (3 * cfg.m_iters, true, 3),
     };
+    alg2_step_for(cfg, pgrid, g, fuse, ga)
+}
+
+/// [`alg2_step`] for explicit group sizes `(g, fuse, ga)`, bypassing
+/// [`ca_group_size`].  This is how the dataflow pass builds *what-if*
+/// schedules — e.g. an over-fused group that the clamp would have refused —
+/// and proves the analyzer rejects them.  `g` must be a divisor-aligned
+/// group size (`1` or a multiple of 3 up to `3M`), `ga` in `1..=3`.
+pub fn alg2_step_for(
+    cfg: &ModelConfig,
+    pgrid: &ProcessGrid,
+    g: usize,
+    fuse: bool,
+    ga: usize,
+) -> Vec<StepOp> {
+    let (_, _, pz) = pgrid.dims();
+    let total = 3 * cfg.m_iters;
     let d = ca_depths(g, fuse, ga);
     let mut ops = Vec::new();
+    let filter = |ops: &mut Vec<StepOp>, sweep: u16, dilate: i16| {
+        ops.push(StepOp::Compute(ComputeOp {
+            op: "filter",
+            sweep,
+            sub: 0,
+            dilate,
+            snapshot_base: false,
+            reads_base: false,
+            c: CSource::NotUsed,
+        }));
+    };
+    let smooth = |ops: &mut Vec<StepOp>, op: &'static str, dilate: i16| {
+        ops.push(StepOp::Compute(ComputeOp {
+            op,
+            sweep: 1,
+            sub: 0,
+            dilate,
+            snapshot_base: false,
+            reads_base: false,
+            c: CSource::NotUsed,
+        }));
+    };
     if !fuse {
         ops.push(StepOp::Exchange(ExchangeOp {
             label: "smooth (separate)",
@@ -264,7 +388,11 @@ pub fn alg2_step(cfg: &ModelConfig, pgrid: &ProcessGrid, mode: CaMode) -> Vec<St
             fields: STATE4,
             overlapped: false,
         }));
+        smooth(&mut ops, "smooth.s1", 0);
     }
+    // validity countdown of the fused adaptation sweeps (§4.3.2): a group
+    // exchange makes g halo layers valid; each iteration consumes 3.
+    let mut valid = 0usize;
     for s in 1..=total {
         if (s - 1) % g == 0 {
             let op = if s == 1 {
@@ -291,12 +419,46 @@ pub fn alg2_step(cfg: &ModelConfig, pgrid: &ProcessGrid, mode: CaMode) -> Vec<St
                 }
             };
             ops.push(StepOp::Exchange(op));
+            if s == 1 && fuse {
+                // former smoothing on the shrunk interior (overlapping the
+                // deep exchange), later smoothing on edge + halo rows once
+                // it lands
+                smooth(&mut ops, "smooth.s1", -2);
+                smooth(&mut ops, "smooth.s2", g as i16);
+            }
+            valid = g;
         }
+        let sub = ((s - 1) % 3 + 1) as u8;
+        // region_k = dilate(valid - k): halo layers still valid for this
+        // sub-update's output (0 on the plain interior when g = 1)
+        let dilate = if g == 1 { 0 } else { valid as i16 - sub as i16 };
         // sub-updates 2 and 3 run C fresh; sub-update 1 reuses the cache
-        if s % 3 != 1 && pz > 1 {
+        let c = if sub == 1 {
+            CSource::Cached
+        } else {
+            CSource::Fresh
+        };
+        if c == CSource::Fresh && pz > 1 {
             ops.push(StepOp::ZAllgather);
         }
+        ops.push(StepOp::Compute(ComputeOp {
+            op: "adaptation",
+            sweep: s as u16,
+            sub,
+            dilate,
+            snapshot_base: sub == 1,
+            reads_base: true,
+            c,
+        }));
+        filter(&mut ops, s as u16, dilate);
+        if sub == 3 {
+            valid = valid.saturating_sub(3);
+        }
     }
+    // advection countdown: g_a valid layers per shallow exchange, one
+    // consumed per sweep (CaModel: dila(g_a - 1), then min(valid - 1, 1),
+    // then the interior)
+    let mut valida = 0usize;
     for s in 1..=3usize {
         if (s - 1) % ga == 0 {
             ops.push(StepOp::Exchange(ExchangeOp {
@@ -305,7 +467,24 @@ pub fn alg2_step(cfg: &ModelConfig, pgrid: &ProcessGrid, mode: CaMode) -> Vec<St
                 fields: ADV5,
                 overlapped: s == 1,
             }));
+            valida = ga;
         }
+        let dilate = match s {
+            1 => (ga - 1) as i16,
+            2 => (valida as i16 - 1).min(1),
+            _ => 0,
+        };
+        ops.push(StepOp::Compute(ComputeOp {
+            op: "advection",
+            sweep: s as u16,
+            sub: s as u8,
+            dilate,
+            snapshot_base: s == 1,
+            reads_base: true,
+            c: CSource::NotUsed,
+        }));
+        filter(&mut ops, s as u16, dilate);
+        valida -= 1;
     }
     ops
 }

@@ -231,8 +231,11 @@ pub fn write_checkpoint_to(writer: &mut impl Write, ck: &Checkpoint) -> io::Resu
     if ck.pending_smooth {
         flags |= FLAG_PENDING_SMOOTH;
     }
-    let trio = ck.vsum.is_some() && ck.gw.is_some() && ck.phi_p.is_some();
-    if trio {
+    let trio = match (&ck.vsum, &ck.gw, &ck.phi_p) {
+        (Some(vsum), Some(gw), Some(phi_p)) => Some((vsum, gw, phi_p)),
+        _ => None,
+    };
+    if trio.is_some() {
         flags |= FLAG_HAS_TRIO;
     }
     w_u64(writer, flags)?;
@@ -240,10 +243,10 @@ pub fn write_checkpoint_to(writer: &mut impl Write, ck: &Checkpoint) -> io::Resu
     w_field3(writer, &ck.state.v)?;
     w_field3(writer, &ck.state.phi)?;
     w_field2(writer, &ck.state.psa)?;
-    if trio {
-        w_field2(writer, ck.vsum.as_ref().unwrap())?;
-        w_field3(writer, ck.gw.as_ref().unwrap())?;
-        w_field3(writer, ck.phi_p.as_ref().unwrap())?;
+    if let Some((vsum, gw, phi_p)) = trio {
+        w_field2(writer, vsum)?;
+        w_field3(writer, gw)?;
+        w_field3(writer, phi_p)?;
     }
     Ok(())
 }

@@ -8,7 +8,11 @@
 //! fresh `Vec`s on receive, so the parallel paths are excluded.
 //!
 //! This test gets its own binary so the global allocator hook cannot leak
-//! into unrelated tests.
+//! into unrelated tests.  It is also the only `unsafe` in the workspace
+//! (every crate is `#![forbid(unsafe_code)]`): a `GlobalAlloc` impl cannot
+//! be written without it.
+
+#![deny(unsafe_op_in_unsafe_fn)]
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -18,15 +22,21 @@ struct CountingAlloc;
 static ALLOCS: AtomicU64 = AtomicU64::new(0);
 static COUNTING: AtomicBool = AtomicBool::new(false);
 
+// SAFETY: pure pass-through to `System` — same layout/pointer contract,
+// no additional invariants; the counter bump is allocation-free atomics.
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         if COUNTING.load(Ordering::Relaxed) {
             ALLOCS.fetch_add(1, Ordering::Relaxed);
         }
+        // SAFETY: caller upholds `GlobalAlloc::alloc`'s contract (non-zero
+        // layout); forwarded to `System` unchanged.
         unsafe { System.alloc(layout) }
     }
 
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: `ptr` was returned by `Self::alloc`, i.e. by `System`,
+        // with the same `layout` — exactly what `System.dealloc` requires.
         unsafe { System.dealloc(ptr, layout) }
     }
 
@@ -34,6 +44,9 @@ unsafe impl GlobalAlloc for CountingAlloc {
         if COUNTING.load(Ordering::Relaxed) {
             ALLOCS.fetch_add(1, Ordering::Relaxed);
         }
+        // SAFETY: `ptr`/`layout` come from `Self::alloc` (backed by
+        // `System`) and the caller upholds `realloc`'s non-zero `new_size`
+        // contract; forwarded unchanged.
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 }

@@ -10,6 +10,7 @@
 //! subject (Theorem 4.1 lower-bounds it; §4.2.1 eliminates it).
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod complex;
 pub mod distributed;

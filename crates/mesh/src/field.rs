@@ -218,16 +218,33 @@ impl Field3 {
         Ok(())
     }
 
+    /// Sanitizer identity of this field's allocation: pass to
+    /// [`crate::sanitize::track`] to have its accesses recorded.
+    #[cfg(feature = "access-sanitizer")]
+    pub fn sanitizer_key(&self) -> usize {
+        self.data.as_ptr() as usize
+    }
+
+    #[cfg(feature = "access-sanitizer")]
+    #[inline]
+    fn san(&self, write: bool, i0: isize, i1: isize, j: isize, k: isize) {
+        crate::sanitize::record(self.data.as_ptr() as usize, write, i0, i1, j, k);
+    }
+
     /// Read the value at local coordinates (halo reachable with negative /
     /// overflowing indices).
     #[inline]
     pub fn get(&self, i: isize, j: isize, k: isize) -> f64 {
+        #[cfg(feature = "access-sanitizer")]
+        self.san(false, i, i, j, k);
         self.data[self.idx(i, j, k)]
     }
 
     /// Write the value at local coordinates.
     #[inline]
     pub fn set(&mut self, i: isize, j: isize, k: isize, v: f64) {
+        #[cfg(feature = "access-sanitizer")]
+        self.san(true, i, i, j, k);
         let ix = self.idx(i, j, k);
         self.data[ix] = v;
     }
@@ -235,6 +252,8 @@ impl Field3 {
     /// Add to the value at local coordinates.
     #[inline]
     pub fn add(&mut self, i: isize, j: isize, k: isize, v: f64) {
+        #[cfg(feature = "access-sanitizer")]
+        self.san(true, i, i, j, k);
         let ix = self.idx(i, j, k);
         self.data[ix] += v;
     }
@@ -257,6 +276,8 @@ impl Field3 {
     pub fn row(&self, x0: isize, x1: isize, j: isize, k: isize) -> &[f64] {
         debug_assert!(x0 <= x1);
         debug_assert!(x1 <= (self.nx + self.halo.xp) as isize);
+        #[cfg(feature = "access-sanitizer")]
+        self.san(false, x0, (x1 - 1).max(x0), j, k);
         let a = self.idx(x0, j, k);
         let b = a + (x1 - x0) as usize;
         &self.data[a..b]
@@ -267,6 +288,8 @@ impl Field3 {
     pub fn row_mut(&mut self, x0: isize, x1: isize, j: isize, k: isize) -> &mut [f64] {
         debug_assert!(x0 <= x1);
         debug_assert!(x1 <= (self.nx + self.halo.xp) as isize);
+        #[cfg(feature = "access-sanitizer")]
+        self.san(true, x0, (x1 - 1).max(x0), j, k);
         let a = self.idx(x0, j, k);
         let b = a + (x1 - x0) as usize;
         &mut self.data[a..b]
@@ -288,6 +311,11 @@ impl Field3 {
             "row_pair requires two distinct (j, k) rows"
         );
         debug_assert!(x0 <= x1);
+        #[cfg(feature = "access-sanitizer")]
+        {
+            self.san(true, x0, (x1 - 1).max(x0), ja, ka);
+            self.san(true, x0, (x1 - 1).max(x0), jb, kb);
+        }
         let w = (x1 - x0) as usize;
         let a = self.idx(x0, ja, ka);
         let b = self.idx(x0, jb, kb);
@@ -309,6 +337,8 @@ impl Field3 {
         let zm = self.halo.zm as isize;
         assert!(k0 <= k1, "slab range must be non-decreasing");
         assert!(k0 >= -zm && k1 <= (self.nz + self.halo.zp) as isize);
+        #[cfg(feature = "access-sanitizer")]
+        let san_key = self.data.as_ptr() as usize;
         let sz = self.sz;
         let a = ((k0 + zm) * sz as isize) as usize;
         let b = ((k1 + zm) * sz as isize) as usize;
@@ -321,6 +351,8 @@ impl Field3 {
             sz,
             k0,
             k1,
+            #[cfg(feature = "access-sanitizer")]
+            san_key,
         }
     }
 
@@ -338,6 +370,8 @@ impl Field3 {
         for w in cuts.windows(2) {
             assert!(w[0] < w[1], "cuts must be strictly increasing");
         }
+        #[cfg(feature = "access-sanitizer")]
+        let san_key = self.data.as_ptr() as usize;
         let sz = self.sz;
         let plane0 = ((cuts[0] + zm) * sz as isize) as usize;
         let plane1 = ((cuts[cuts.len() - 1] + zm) * sz as isize) as usize;
@@ -356,6 +390,8 @@ impl Field3 {
                 sz,
                 k0: w[0],
                 k1: w[1],
+                #[cfg(feature = "access-sanitizer")]
+                san_key,
             });
         }
         out
@@ -556,6 +592,9 @@ pub struct SlabMut3<'a> {
     sz: usize,
     k0: isize,
     k1: isize,
+    /// Sanitizer identity of the parent field's allocation.
+    #[cfg(feature = "access-sanitizer")]
+    san_key: usize,
 }
 
 impl<'a> SlabMut3<'a> {
@@ -584,15 +623,25 @@ impl<'a> SlabMut3<'a> {
         (base + i + j * self.sy as isize + (k - self.k0) * self.sz as isize) as usize
     }
 
+    #[cfg(feature = "access-sanitizer")]
+    #[inline]
+    fn san(&self, write: bool, i0: isize, i1: isize, j: isize, k: isize) {
+        crate::sanitize::record(self.san_key, write, i0, i1, j, k);
+    }
+
     /// Read at global local coordinates (must lie in this slab's k-range).
     #[inline]
     pub fn get(&self, i: isize, j: isize, k: isize) -> f64 {
+        #[cfg(feature = "access-sanitizer")]
+        self.san(false, i, i, j, k);
         self.data[self.idx(i, j, k)]
     }
 
     /// Write at global local coordinates.
     #[inline]
     pub fn set(&mut self, i: isize, j: isize, k: isize, v: f64) {
+        #[cfg(feature = "access-sanitizer")]
+        self.san(true, i, i, j, k);
         let ix = self.idx(i, j, k);
         self.data[ix] = v;
     }
@@ -600,6 +649,8 @@ impl<'a> SlabMut3<'a> {
     /// Add at global local coordinates.
     #[inline]
     pub fn add(&mut self, i: isize, j: isize, k: isize, v: f64) {
+        #[cfg(feature = "access-sanitizer")]
+        self.san(true, i, i, j, k);
         let ix = self.idx(i, j, k);
         self.data[ix] += v;
     }
@@ -609,6 +660,8 @@ impl<'a> SlabMut3<'a> {
     #[inline]
     pub fn row(&self, x0: isize, x1: isize, j: isize, k: isize) -> &[f64] {
         debug_assert!(x0 <= x1);
+        #[cfg(feature = "access-sanitizer")]
+        self.san(false, x0, (x1 - 1).max(x0), j, k);
         let a = self.idx(x0, j, k);
         &self.data[a..a + (x1 - x0) as usize]
     }
@@ -617,6 +670,8 @@ impl<'a> SlabMut3<'a> {
     #[inline]
     pub fn row_mut(&mut self, x0: isize, x1: isize, j: isize, k: isize) -> &mut [f64] {
         debug_assert!(x0 <= x1);
+        #[cfg(feature = "access-sanitizer")]
+        self.san(true, x0, (x1 - 1).max(x0), j, k);
         let a = self.idx(x0, j, k);
         &mut self.data[a..a + (x1 - x0) as usize]
     }
@@ -640,6 +695,8 @@ impl<'a> SlabMut3<'a> {
                 sz: self.sz,
                 k0: self.k0,
                 k1: k,
+                #[cfg(feature = "access-sanitizer")]
+                san_key: self.san_key,
             },
             SlabMut3 {
                 data: hi,
@@ -650,6 +707,8 @@ impl<'a> SlabMut3<'a> {
                 sz: self.sz,
                 k0: k,
                 k1: self.k1,
+                #[cfg(feature = "access-sanitizer")]
+                san_key: self.san_key,
             },
         )
     }
@@ -773,15 +832,32 @@ impl Field2 {
         Ok(())
     }
 
+    /// Sanitizer identity of this field's allocation: pass to
+    /// [`crate::sanitize::track`] to have its accesses recorded.
+    #[cfg(feature = "access-sanitizer")]
+    pub fn sanitizer_key(&self) -> usize {
+        self.data.as_ptr() as usize
+    }
+
+    #[cfg(feature = "access-sanitizer")]
+    #[inline]
+    fn san(&self, write: bool, i0: isize, i1: isize, j: isize) {
+        crate::sanitize::record(self.data.as_ptr() as usize, write, i0, i1, j, 0);
+    }
+
     /// Read at local coordinates.
     #[inline]
     pub fn get(&self, i: isize, j: isize) -> f64 {
+        #[cfg(feature = "access-sanitizer")]
+        self.san(false, i, i, j);
         self.data[self.idx(i, j)]
     }
 
     /// Write at local coordinates.
     #[inline]
     pub fn set(&mut self, i: isize, j: isize, v: f64) {
+        #[cfg(feature = "access-sanitizer")]
+        self.san(true, i, i, j);
         let ix = self.idx(i, j);
         self.data[ix] = v;
     }
@@ -789,6 +865,8 @@ impl Field2 {
     /// Add at local coordinates.
     #[inline]
     pub fn add(&mut self, i: isize, j: isize, v: f64) {
+        #[cfg(feature = "access-sanitizer")]
+        self.san(true, i, i, j);
         let ix = self.idx(i, j);
         self.data[ix] += v;
     }
@@ -799,6 +877,8 @@ impl Field2 {
     pub fn row(&self, x0: isize, x1: isize, j: isize) -> &[f64] {
         debug_assert!(x0 <= x1);
         debug_assert!(x1 <= (self.nx + self.hx.1) as isize);
+        #[cfg(feature = "access-sanitizer")]
+        self.san(false, x0, (x1 - 1).max(x0), j);
         let a = self.idx(x0, j);
         &self.data[a..a + (x1 - x0) as usize]
     }
@@ -809,6 +889,8 @@ impl Field2 {
     pub fn row_mut(&mut self, x0: isize, x1: isize, j: isize) -> &mut [f64] {
         debug_assert!(x0 <= x1);
         debug_assert!(x1 <= (self.nx + self.hx.1) as isize);
+        #[cfg(feature = "access-sanitizer")]
+        self.san(true, x0, (x1 - 1).max(x0), j);
         let a = self.idx(x0, j);
         &mut self.data[a..a + (x1 - x0) as usize]
     }

@@ -15,15 +15,21 @@
 //! * [`stencil`] — stencil footprints (the paper's Tables 1-3 as data),
 //! * [`decomp`] — X-Y / Y-Z / 3-D domain decomposition,
 //! * [`field`] — flat-array field storage with halos,
-//! * [`halo`] — halo exchange planning (Figure 4's eight halo areas).
+//! * [`halo`] — halo exchange planning (Figure 4's eight halo areas),
+//! * [`sanitize`] — runtime access sanitizer (feature `access-sanitizer`):
+//!   shadow-records the index ranges kernels actually touch so tests can
+//!   diff them against the declared `AccessSpec` footprints.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod decomp;
 pub mod error;
 pub mod field;
 pub mod grid;
 pub mod halo;
+#[cfg(feature = "access-sanitizer")]
+pub mod sanitize;
 pub mod stencil;
 
 pub use decomp::{DecompKind, Decomposition, NeighborLink, ProcessGrid, Subdomain};

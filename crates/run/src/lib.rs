@@ -28,6 +28,7 @@
 //!    element counts — every message the model believes it sent crossed
 //!    the kernel as exactly one checksummed frame, nothing more.
 
+#![forbid(unsafe_code)]
 use agcm_comm::{
     p2p_only_delta, Communicator, Endpoint, SocketTransport, WireStats, WIRE_OVERHEAD_BYTES,
 };

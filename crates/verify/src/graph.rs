@@ -178,6 +178,9 @@ impl ScheduleGraph {
                         g.groups[id as usize].push(rank as u32);
                         prog.push(Action::Barrier(id));
                     }
+                    // kernel applications carry no communication events;
+                    // the dataflow pass (`crate::dataflow`) replays them
+                    StepOp::Compute(_) => {}
                 }
             }
             g.programs.push(prog);

@@ -33,7 +33,9 @@
 //! `cargo run -p agcm-bench --bin figures -- verify` prints the paper-mesh
 //! certification table.
 
+#![forbid(unsafe_code)]
 pub mod counts;
+pub mod dataflow;
 pub mod deadlock;
 pub mod graph;
 pub mod matching;
@@ -42,10 +44,13 @@ pub mod runtime;
 pub mod trace;
 
 pub use counts::{certify_counts, rank_counts, CountReport, RankCounts};
+pub use dataflow::{check_ops, Counterexample, FailureKind, FlowProof};
 pub use deadlock::{check_deadlock, DeadlockReport};
 pub use graph::{Action, RecvEvent, ScheduleGraph, SendEvent};
 pub use matching::{check_matching, MatchReport};
-pub use report::{certify_paper_ranks, certify_yz, paper_yz_grid, Certification, PAPER_RANKS};
+pub use report::{
+    certify_paper_ranks, certify_yz, paper_yz_grid, AlgCertification, Certification, PAPER_RANKS,
+};
 pub use runtime::{cross_check, measure_step, measure_step_under_faults, MeasuredTraffic};
 pub use trace::{
     expected_counts, measure_spans, trace_cross_check, ExpectedSpanCounts, RankSpanCounts,

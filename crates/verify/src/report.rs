@@ -2,6 +2,7 @@
 //! all analyses, plus the paper's headline claims as assertions.
 
 use crate::counts::certify_counts;
+use crate::dataflow;
 use crate::deadlock::check_deadlock;
 use crate::graph::ScheduleGraph;
 use crate::matching::check_matching;
@@ -22,6 +23,14 @@ pub struct AlgCertification {
     pub sends: usize,
     /// Actions virtually executed by the deadlock proof.
     pub actions: usize,
+    /// Read requirements discharged by the dataflow proof
+    /// ([`dataflow::check`]); `None` when the schedule is not executable
+    /// on this grid (the paper's idealized accounting on a clamped grid)
+    /// and only its counts are certified.
+    pub dataflow_reads: Option<u64>,
+    /// Smallest halo slack the dataflow proof observed (`Some(0)`: some
+    /// exchange depth is consumed exactly).
+    pub dataflow_margin: Option<u64>,
 }
 
 /// Certification of the Y-Z schedules at one rank count.
@@ -70,12 +79,28 @@ fn certify_one(
             c.errors.join("; ")
         ));
     }
+    // halo-coverage proof for every executable schedule; the paper's
+    // idealized accounting is executable only where the grouped schedule
+    // reaches the full depth
+    let executable = mode == CaMode::Grouped || {
+        let (gs, fuse, ga) = analysis::ca_group_size(cfg, &pgrid);
+        alg != AlgKind::CommAvoiding || (gs == 3 * cfg.m_iters && fuse && ga == 3)
+    };
+    let (dataflow_reads, dataflow_margin) = if executable {
+        let proof = dataflow::check(cfg, alg, mode, &pgrid)
+            .map_err(|ce| format!("{label}: dataflow counterexample: {ce}"))?;
+        (Some(proof.reads_checked), proof.min_margin)
+    } else {
+        (None, None)
+    };
     Ok(AlgCertification {
         alg,
         exchanges: c.exchanges,
         collectives: c.collectives,
         sends: g.sends.len(),
         actions,
+        dataflow_reads,
+        dataflow_margin,
     })
 }
 

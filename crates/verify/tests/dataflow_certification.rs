@@ -1,0 +1,257 @@
+//! The dataflow pass proves halo coverage for every feasible schedule at
+//! the issue's rank sweep — and refutes deliberately broken ones with
+//! counterexamples naming operator, field and uncovered offset.
+
+use agcm_core::analysis::{ca_group_size, AlgKind, CaMode};
+use agcm_core::par::schedule::{self, StepOp};
+use agcm_core::ModelConfig;
+use agcm_mesh::{Axis, ProcessGrid};
+use agcm_verify::dataflow::{self, FailureKind};
+
+fn cfg() -> ModelConfig {
+    ModelConfig::paper_50km()
+}
+
+/// The issue's rank sweep: p ∈ {1..16} ∪ {64, 256, 1024}.
+fn rank_sweep() -> Vec<usize> {
+    let mut ps: Vec<usize> = (1..=16).collect();
+    ps.extend([64, 256, 1024]);
+    ps
+}
+
+/// Every Y-Z factorization of `p` a single-hop exchange can serve: blocks
+/// must exist (`py ≤ ny`, `pz ≤ nz`) and decomposed y blocks must hold the
+/// ±2 smoothing stencil (`ny/py ≥ 2`).
+fn feasible_yz(c: &ModelConfig, p: usize) -> Vec<ProcessGrid> {
+    let mut grids = Vec::new();
+    for py in 1..=p {
+        if !p.is_multiple_of(py) {
+            continue;
+        }
+        let pz = p / py;
+        if py > c.ny || pz > c.nz {
+            continue;
+        }
+        if py > 1 && c.ny / py < 2 {
+            continue;
+        }
+        if let Ok(g) = ProcessGrid::yz(py, pz) {
+            grids.push(g);
+        }
+    }
+    grids
+}
+
+/// X-Y factorizations for Algorithm 1: x blocks must hold the ±3 sweep
+/// stencil.
+fn feasible_xy(c: &ModelConfig, p: usize) -> Vec<ProcessGrid> {
+    let mut grids = Vec::new();
+    for px in 1..=p {
+        if !p.is_multiple_of(px) {
+            continue;
+        }
+        let py = p / px;
+        if px > c.nx || py > c.ny {
+            continue;
+        }
+        if px > 1 && c.nx / px < 3 {
+            continue;
+        }
+        if py > 1 && c.ny / py < 2 {
+            continue;
+        }
+        if let Ok(g) = ProcessGrid::xy(px, py) {
+            grids.push(g);
+        }
+    }
+    grids
+}
+
+#[test]
+fn proves_all_schedules_at_issue_rank_sweep() {
+    let c = cfg();
+    for p in rank_sweep() {
+        let yz = feasible_yz(&c, p);
+        assert!(!yz.is_empty(), "no feasible Y-Z factorization at p={p}");
+        for pg in yz {
+            let alg1 = dataflow::check(&c, AlgKind::OriginalYZ, CaMode::Grouped, &pg)
+                .unwrap_or_else(|ce| panic!("alg1 p={p} {pg:?}: {ce}"));
+            assert!(alg1.computes > 0 && alg1.reads_checked > 0);
+            let ca = dataflow::check(&c, AlgKind::CommAvoiding, CaMode::Grouped, &pg)
+                .unwrap_or_else(|ce| panic!("alg2 p={p} {pg:?}: {ce}"));
+            assert!(ca.computes > 0);
+            // the paper's idealized accounting is executable (and hence
+            // provable) exactly when the grouped schedule reaches it
+            let (g, fuse, ga) = ca_group_size(&c, &pg);
+            if g == 3 * c.m_iters && fuse && ga == 3 {
+                dataflow::check(&c, AlgKind::CommAvoiding, CaMode::PaperIdeal, &pg)
+                    .unwrap_or_else(|ce| panic!("ideal p={p} {pg:?}: {ce}"));
+            }
+        }
+        for pg in feasible_xy(&c, p) {
+            dataflow::check(&c, AlgKind::OriginalXY, CaMode::Grouped, &pg)
+                .unwrap_or_else(|ce| panic!("alg1-XY p={p} {pg:?}: {ce}"));
+        }
+    }
+}
+
+#[test]
+fn serial_schedules_prove_trivially_with_no_finite_margin() {
+    let c = cfg();
+    let pg = ProcessGrid::serial();
+    for alg in [AlgKind::OriginalYZ, AlgKind::CommAvoiding] {
+        let proof = dataflow::check(&c, alg, CaMode::Grouped, &pg).expect("serial proves");
+        assert!(proof.computes > 0);
+        // nothing is decomposed: every check is against an unbounded halo
+        assert_eq!(proof.min_margin, None, "{alg:?}");
+    }
+}
+
+#[test]
+fn grouped_ca_schedule_consumes_its_deep_halo_exactly() {
+    let c = cfg();
+    let pg = ProcessGrid::yz(16, 8).unwrap();
+    let (g, fuse, _) = ca_group_size(&c, &pg);
+    assert!(g >= 3 && fuse, "expected a fused grouped schedule");
+    let proof = dataflow::check(&c, AlgKind::CommAvoiding, CaMode::Grouped, &pg).unwrap();
+    // some read consumes the shipped depth exactly — no wasted halo layers
+    assert_eq!(proof.min_margin, Some(0));
+    assert!(proof.collectives_consumed > 0);
+}
+
+/// The bugfix satellite: the dataflow pass independently agrees with
+/// `analysis::ca_group_size` at every feasible p — the selected group size
+/// proves, and every larger candidate the clamp rejected is refuted.  This
+/// catches the block-too-small clamp path that count certification alone
+/// cannot distinguish.
+#[test]
+fn agrees_with_ca_group_size_at_every_feasible_p() {
+    let c = cfg();
+    let m = c.m_iters;
+    for p in rank_sweep() {
+        for pg in feasible_yz(&c, p) {
+            let (g, fuse, ga) = ca_group_size(&c, &pg);
+            let ops = schedule::alg2_step_for(&c, &pg, g, fuse, ga);
+            dataflow::check_ops(&c, &pg, &ops)
+                .unwrap_or_else(|ce| panic!("selected (g={g}, fuse={fuse}) p={p} {pg:?}: {ce}"));
+            // every candidate ca_group_size tried and rejected before
+            // settling on (g, fuse) must fail the dataflow proof
+            let mut ladder: Vec<(usize, bool)> = Vec::new();
+            for k in (1..=m).rev() {
+                ladder.push((3 * k, true));
+                ladder.push((3 * k, false));
+            }
+            ladder.push((1, true));
+            let selected = ladder
+                .iter()
+                .position(|&(lg, lf)| (lg, lf) == (g, fuse))
+                .unwrap_or(ladder.len());
+            for &(lg, lf) in &ladder[..selected] {
+                let over = schedule::alg2_step_for(&c, &pg, lg, lf, ga);
+                let ce = dataflow::check_ops(&c, &pg, &over).expect_err(&format!(
+                    "rejected candidate (g={lg}, fuse={lf}) wrongly proves at p={p} {pg:?}"
+                ));
+                assert_eq!(ce.kind, FailureKind::UncoveredHalo);
+                assert!(!ce.field.is_empty());
+                assert!(ce.needed > ce.have, "{ce}");
+            }
+        }
+    }
+}
+
+#[test]
+fn shrunk_deep_halo_yields_named_counterexample() {
+    let c = cfg();
+    let pg = ProcessGrid::yz(16, 8).unwrap();
+    let (_, fuse, _) = ca_group_size(&c, &pg);
+    assert!(fuse, "first exchange must be the deep fused one");
+    // shrink y by one layer: the later smoothing's ±2 rows fall off
+    let mut ops = schedule::alg2_step(&c, &pg, CaMode::Grouped);
+    assert!(dataflow::shrink_exchange(&mut ops, 0, 1, 0));
+    let ce = dataflow::check_ops(&c, &pg, &ops).expect_err("shrunk y halo must fail");
+    assert_eq!(ce.kind, FailureKind::UncoveredHalo);
+    assert_eq!(ce.axis, Axis::Y);
+    assert!(ce.needed == ce.have + 1, "{ce}");
+    assert!(ce.operator.contains("smooth") || ce.operator.contains("adaptation"));
+    let msg = format!("{ce}");
+    assert!(msg.contains(ce.field), "message names the field: {msg}");
+
+    // shrink z by one layer: the first sub-update's g_w interface read
+    // outruns the halo
+    let mut ops = schedule::alg2_step(&c, &pg, CaMode::Grouped);
+    assert!(dataflow::shrink_exchange(&mut ops, 0, 0, 1));
+    let ce = dataflow::check_ops(&c, &pg, &ops).expect_err("shrunk z halo must fail");
+    assert_eq!(ce.kind, FailureKind::UncoveredHalo);
+    assert_eq!(ce.axis, Axis::Z);
+    // the later smoothing's frame also dilates g levels in z, so it (or
+    // the first adaptation sub-update) trips first
+    assert!(
+        ce.operator.contains("smooth") || ce.operator.contains("adaptation"),
+        "{ce}"
+    );
+}
+
+#[test]
+fn over_fused_group_yields_counterexample() {
+    let c = cfg();
+    // bz = 26/8 = 3 clamps g to 3; force a 6-sweep group anyway
+    let pg = ProcessGrid::yz(16, 8).unwrap();
+    let (g, _, ga) = ca_group_size(&c, &pg);
+    assert_eq!(g, 3);
+    let ops = schedule::alg2_step_for(&c, &pg, 6, true, ga);
+    let ce = dataflow::check_ops(&c, &pg, &ops).expect_err("over-fused group must fail");
+    assert_eq!(ce.kind, FailureKind::UncoveredHalo);
+    assert_eq!(ce.axis, Axis::Z, "{ce}");
+    assert!(ce.needed > ce.have);
+
+    // without fused smoothing the first uncovered read is the adaptation
+    // sweep itself, dilated past the z block
+    let ops = schedule::alg2_step_for(&c, &pg, 6, false, ga);
+    let ce = dataflow::check_ops(&c, &pg, &ops).expect_err("over-fused group must fail");
+    assert_eq!(ce.kind, FailureKind::UncoveredHalo);
+    assert_eq!(ce.axis, Axis::Z, "{ce}");
+    assert!(ce.operator.contains("adaptation"), "{ce}");
+    assert!(ce.needed > ce.have);
+}
+
+#[test]
+fn dropped_collective_with_live_reads_yields_counterexample() {
+    let c = cfg();
+    let pg = ProcessGrid::yz(16, 8).unwrap();
+    let mut ops = schedule::alg2_step(&c, &pg, CaMode::Grouped);
+    assert!(dataflow::drop_collective(&mut ops, 0));
+    let ce = dataflow::check_ops(&c, &pg, &ops).expect_err("dropped collective must fail");
+    assert_eq!(ce.kind, FailureKind::MissingCollective);
+    assert!(ce.operator.contains("vertical.C"), "{ce}");
+    assert!(!ce.field.is_empty());
+    let msg = format!("{ce}");
+    assert!(msg.contains("z-allgather"), "{msg}");
+
+    // Algorithm 1 runs C fresh in every sub-update: same detection
+    let mut ops = schedule::alg1_step(&c, &pg);
+    assert!(dataflow::drop_collective(&mut ops, 0));
+    let ce = dataflow::check_ops(&c, &pg, &ops).expect_err("alg1 dropped collective");
+    assert_eq!(ce.kind, FailureKind::MissingCollective);
+}
+
+#[test]
+fn all_collectives_are_consumed_by_fresh_c_runs() {
+    let c = cfg();
+    let pg = ProcessGrid::yz(16, 8).unwrap();
+    for (alg, expect) in [
+        (AlgKind::OriginalYZ, 3 * c.m_iters),
+        (AlgKind::CommAvoiding, 2 * c.m_iters),
+    ] {
+        let ops = match alg {
+            AlgKind::CommAvoiding => schedule::alg2_step(&c, &pg, CaMode::Grouped),
+            _ => schedule::alg1_step(&c, &pg),
+        };
+        let n_allgathers = ops
+            .iter()
+            .filter(|o| matches!(o, StepOp::ZAllgather))
+            .count();
+        let proof = dataflow::check_ops(&c, &pg, &ops).unwrap();
+        assert_eq!(proof.collectives_consumed, n_allgathers, "{alg:?}");
+        assert_eq!(proof.collectives_consumed, expect, "{alg:?}");
+    }
+}
