@@ -1,4 +1,4 @@
-//! Ablations of the design choices `DESIGN.md` §11 calls out, measured on
+//! Ablations of the design choices `DESIGN.md` §12 calls out, measured on
 //! the executing implementation:
 //!
 //! * the approximate nonlinear iteration (§4.2.2) — exact vs approximate

@@ -1,5 +1,5 @@
 //! Collective primitives of the runtime — the executable analogue of
-//! Figure 6 plus the ring-vs-recursive-doubling ablation (`DESIGN.md` §11):
+//! Figure 6 plus the ring-vs-recursive-doubling ablation (`DESIGN.md` §12):
 //! the paper's Theorem 4.2 cites the ring family as bandwidth-optimal for
 //! the long vectors the summation operator `C` reduces.
 

@@ -1,5 +1,5 @@
 //! Halo-exchange benchmarks — the executable analogue of Figure 7 and the
-//! halo-depth ablation of `DESIGN.md` §11: thirteen shallow exchanges (the
+//! halo-depth ablation of `DESIGN.md` §12: thirteen shallow exchanges (the
 //! original schedule) versus two deep ones (the communication-avoiding
 //! schedule), on real thread-backed ranks.
 

@@ -32,7 +32,10 @@ fn main() {
         "tables" => print_tables(),
         "validate" => validate(),
         "verify" => verify(),
-        "trace" => trace(),
+        "trace" => {
+            trace();
+        }
+        "trace-dist" => trace_dist(),
         "restart" => restart(),
         "perf" => perf(std::env::args().nth(2)),
         "all" => {
@@ -44,13 +47,13 @@ fn main() {
             theory(&cfg);
             validate();
             verify();
-            trace();
+            trace_dist();
             restart();
         }
         other => {
             eprintln!("unknown figure '{other}'");
             eprintln!(
-                "usage: figures [all|fig1|fig6|fig7|fig8|theory|tables|validate|verify|trace|restart|perf [baseline.json]]"
+                "usage: figures [all|fig1|fig6|fig7|fig8|theory|tables|validate|verify|trace|trace-dist|restart|perf [baseline.json]]"
             );
             std::process::exit(2);
         }
@@ -437,11 +440,12 @@ fn verify() {
 }
 
 /// Operator-level tracing of executing runs: Chrome-trace timelines (load
-/// them at `ui.perfetto.dev` or `chrome://tracing`), a `BENCH_trace.json`
-/// metrics dump, and the §4.3.1 overlap-efficiency profile.
+/// them at `ui.perfetto.dev` or `chrome://tracing`) and the §4.3.1
+/// overlap-efficiency profile.  Returns each algorithm's metrics document
+/// and raw span stream; [`trace_dist`] builds `BENCH_trace.json` on top.
 ///
 /// Output directory: second CLI argument, default `target/trace`.
-fn trace() {
+fn trace() -> Vec<(&'static str, String, Vec<obs::Event>)> {
     header("trace — operator spans, metrics, and overlap profile (executing runs)");
     let outdir = std::env::args()
         .nth(2)
@@ -450,7 +454,7 @@ fn trace() {
     let mut cfg = ModelConfig::test_medium();
     cfg.m_iters = 1; // the CA deep halo fits the 2x2 blocks
     const STEPS: usize = 3;
-    let mut docs: Vec<(&str, String)> = Vec::new();
+    let mut docs: Vec<(&'static str, String, Vec<obs::Event>)> = Vec::new();
     for (name, alg) in [
         ("alg1", AlgKind::OriginalYZ),
         ("alg2", AlgKind::CommAvoiding),
@@ -548,7 +552,7 @@ fn trace() {
 
         let doc = obs::metrics_json(name, &report, &snap);
         obs::validate_json(&doc).expect("metrics JSON validates");
-        docs.push((name, doc));
+        docs.push((name, doc, events));
         drop(guard);
 
         println!(
@@ -581,18 +585,230 @@ fn trace() {
         );
     }
 
-    // one combined BENCH-style dump in the working directory
-    let mut combined = String::from("{\n");
-    for (i, (name, doc)) in docs.iter().enumerate() {
-        if i > 0 {
-            combined.push_str(",\n");
+    println!("load the timelines at ui.perfetto.dev (run `trace-dist` for BENCH_trace.json)");
+    docs
+}
+
+/// `trace-dist` — the distributed-observability dump: runs the traced
+/// worlds of [`trace`], round-trips every rank's span stream through the
+/// cross-rank telemetry codec (`obs::dist`) and merges the streams, joins
+/// the measured step against `verify`'s static `ScheduleGraph` for a
+/// per-step critical path, and fits the α–β(–γ) cost model from the
+/// measured exchange spans.  The result is `BENCH_trace.json` schema v2:
+/// all v1 in-process fields verbatim (so the perf trajectory stays
+/// comparable) plus per-rank measured-step imbalance, the critical-path
+/// table, and the fit residuals.  Exits non-zero on any inconsistency.
+fn trace_dist() {
+    use agcm_comm::{fit_alpha_beta, fit_gamma};
+    use agcm_core::analysis::{predict_step, CaMode};
+    use agcm_obs::dist;
+    use agcm_verify::{critpath, ScheduleGraph};
+
+    let docs = trace();
+    header("trace-dist — merged streams, critical path, fitted cost model");
+    let mut cfg = ModelConfig::test_medium();
+    cfg.m_iters = 1; // must match the worlds trace() ran
+    let pg = ProcessGrid::yz(2, 2).unwrap();
+    let p = 4usize;
+    // the models stamp spans with the pre-increment step counter: the
+    // warm-up records step 0 and the first steady-state step — the one the
+    // static schedule describes — records step 1
+    const MEASURED_STEP: u64 = 1;
+    let jn = |x: f64| {
+        if x.is_finite() {
+            format!("{x:e}")
+        } else {
+            "null".to_string()
         }
-        combined.push_str(&format!("\"{name}\": {doc}"));
+    };
+
+    let mut sections: Vec<String> = Vec::new();
+    for (name, doc, events) in &docs {
+        let alg = match *name {
+            "alg1" => AlgKind::OriginalYZ,
+            _ => AlgKind::CommAvoiding,
+        };
+
+        // 1. ship each rank's stream through the telemetry codec exactly
+        // as `agcm-run` does (string-table encode → f64 wire words →
+        // decode) and merge; in-process clocks share a timebase, so the
+        // per-rank offsets are zero.
+        let mut streams: Vec<(i64, Vec<obs::Event>)> = Vec::new();
+        for rank in 0..p {
+            let mine: Vec<obs::Event> = events.iter().filter(|e| e.rank == rank).cloned().collect();
+            let bytes = dist::encode_events(&mine);
+            let words = dist::bytes_to_words(&bytes);
+            let back = dist::words_to_bytes(&words).expect("wire words round-trip");
+            let decoded = dist::decode_events(&back).expect("span stream decodes");
+            if decoded != mine {
+                eprintln!("{name}: span codec round-trip diverged on rank {rank}");
+                std::process::exit(1);
+            }
+            streams.push((0, decoded));
+        }
+        let merged = dist::merge_events(&streams);
+        assert_eq!(merged.len(), events.len(), "merge must keep every span");
+
+        // 2. critical path of the measured step against the static schedule
+        let graph = ScheduleGraph::extract(&cfg, alg, CaMode::Grouped, pg)
+            .expect("static schedule extracts");
+        let measured: Vec<obs::Event> = merged
+            .iter()
+            .filter(|e| e.step == MEASURED_STEP)
+            .cloned()
+            .collect();
+        let rep = critpath::analyze(&measured, &graph);
+        if !rep.is_consistent() {
+            eprintln!(
+                "{name}: merged trace inconsistent with the static schedule:\n  {}",
+                rep.errors.join("\n  ")
+            );
+            std::process::exit(1);
+        }
+        let Some(step) = rep.steps.first() else {
+            eprintln!("{name}: no complete measured step in the merged trace");
+            std::process::exit(1);
+        };
+
+        // per-rank wall time of the measured step (operator spans only):
+        // the distributed complement of the per-phase load_imbalance map
+        let mut rank_wall = vec![0u64; p];
+        for e in &measured {
+            if e.kind == obs::SpanKind::Op {
+                rank_wall[e.rank] += e.dur_ns();
+            }
+        }
+        let mean_wall = (rank_wall.iter().sum::<u64>() as f64 / p as f64).max(1.0);
+        let imb = rank_wall.iter().copied().max().unwrap_or(0) as f64 / mean_wall;
+
+        // 3. α–β fit over the measured exchange spans; γ from the critical
+        // rank's compute time against the schedule's point updates
+        let fit = match fit_alpha_beta(&rep.samples) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("{name}: cost-model fit failed: {e}");
+                std::process::exit(1);
+            }
+        };
+        let probe = CostModel {
+            alpha: 0.0,
+            beta: 0.0,
+            gamma: 1.0,
+            sync: 0.0,
+            name: "probe",
+        };
+        let updates = predict_step(&cfg, alg, pg, &probe).compute_s;
+        let gamma = fit_gamma(step.breakdown.compute_ns as f64 * 1e-9, updates);
+
+        let b = &step.breakdown;
+        let blocking: Vec<String> = step
+            .blocking
+            .iter()
+            .take(5)
+            .map(|a| {
+                format!(
+                    "      {{\"rank\": {}, \"op\": {}, \"label\": \"{}\", \"name\": \"{}\", \
+                     \"dur_ns\": {}, \"bytes\": {}}}",
+                    a.rank, a.op, a.op_label, a.name, a.dur_ns, a.bytes
+                )
+            })
+            .collect();
+        let residuals: Vec<String> = fit
+            .residuals
+            .iter()
+            .map(|r| {
+                format!(
+                    "      {{\"op\": {}, \"name\": \"{}\", \"msgs\": {}, \"bytes\": {}, \
+                     \"measured_s\": {}, \"predicted_s\": {}, \"rel_err\": {}}}",
+                    r.op,
+                    r.name,
+                    r.msgs,
+                    r.bytes,
+                    jn(r.measured_s),
+                    jn(r.predicted_s),
+                    jn(r.rel_err())
+                )
+            })
+            .collect();
+        let walls: Vec<String> = rank_wall.iter().map(|w| w.to_string()).collect();
+
+        // splice the v2 fields into the v1 metrics object: drop the doc's
+        // closing brace and append the new keys
+        let base = doc
+            .trim_end()
+            .strip_suffix('}')
+            .expect("metrics doc is a JSON object");
+        let section = format!(
+            "{base},\n  \"measured_step_rank_wall_ns\": [{}],\n  \"measured_step_imbalance\": {},\n  \
+             \"critical_path\": {{\"step\": {}, \"makespan_ns\": {}, \"critical_rank\": {}, \
+             \"critical_wall_ns\": {}, \"compute_ns\": {}, \"pack_ns\": {}, \"wire_wait_ns\": {}, \
+             \"collective_ns\": {},\n    \"blocking\": [\n{}\n    ]}},\n  \
+             \"fit\": {{\"terms\": \"{}\", \"alpha_s\": {}, \"beta_s_per_byte\": {}, \"sync_s\": {}, \
+             \"gamma_s\": {}, \"rel_rmse\": {}, \"max_rel_err\": {}, \"samples\": {},\n    \
+             \"residuals\": [\n{}\n    ]}}\n}}",
+            walls.join(", "),
+            jn(imb),
+            step.step,
+            step.makespan_ns,
+            step.critical_rank,
+            step.critical_wall_ns,
+            b.compute_ns,
+            b.pack_ns,
+            b.wire_wait_ns,
+            b.collective_ns,
+            blocking.join(",\n"),
+            fit.terms.label(),
+            jn(fit.alpha),
+            jn(fit.beta),
+            jn(fit.sync),
+            jn(gamma),
+            jn(fit.rel_rmse()),
+            jn(fit.max_rel_err()),
+            fit.residuals.len(),
+            residuals.join(",\n"),
+        );
+        sections.push(format!("\"{name}\": {section}"));
+
+        let pct = |ns: u64| 100.0 * ns as f64 / step.critical_wall_ns.max(1) as f64;
+        let block = step
+            .blocking
+            .first()
+            .map(|a| format!("{} ({})", a.op_label, a.name))
+            .unwrap_or_else(|| "none".to_string());
+        println!(
+            "{name}: codec round-trip OK ({} spans, {p} streams merged); step {}: makespan \
+             {:.1} µs, critical rank {} (compute {:.0}%, pack {:.0}%, wire-wait {:.0}%, \
+             collective {:.0}%, longest block: {block}), rank imbalance {:.2}x",
+            merged.len(),
+            step.step,
+            step.makespan_ns as f64 / 1e3,
+            step.critical_rank,
+            pct(b.compute_ns),
+            pct(b.pack_ns),
+            pct(b.wire_wait_ns),
+            pct(b.collective_ns),
+            imb,
+        );
+        println!(
+            "  fit[{}] α={:.3e} s β={:.3e} s/B sync={:.3e} s γ={:.3e} s/pt \
+             rel_rmse={:.3} over {} samples",
+            fit.terms.label(),
+            fit.alpha,
+            fit.beta,
+            fit.sync,
+            gamma,
+            fit.rel_rmse(),
+            fit.residuals.len(),
+        );
     }
-    combined.push_str("}\n");
+
+    // one combined BENCH-style dump in the working directory (schema v2)
+    let mut combined = String::from("{\n\"schema_version\": 2,\n");
+    combined.push_str(&sections.join(",\n"));
+    combined.push_str("\n}\n");
     obs::validate_json(&combined).expect("combined metrics JSON validates");
     std::fs::write("BENCH_trace.json", &combined).expect("write BENCH_trace.json");
-    println!("metrics -> BENCH_trace.json (validated); load the timelines at ui.perfetto.dev");
+    println!("metrics + critical path + fit residuals -> BENCH_trace.json (schema v2, validated)");
 }
 
 /// Checkpoint/restart round-trip smoke (ISSUE 3 satellite): run the CA

@@ -3,7 +3,7 @@
 //! One binary (`figures`) regenerates every table and figure of Xiao et al.
 //! (ICPP 2018) §5, and the Criterion benches under `benches/` measure the
 //! real (thread-backed) implementations at laptop scales plus the design
-//! ablations listed in `DESIGN.md` §11.
+//! ablations listed in `DESIGN.md` §12.
 //!
 //! Reproduction strategy (see `DESIGN.md` §2): the executing runtime
 //! validates the algorithms and their exact per-rank traffic at small rank

@@ -18,11 +18,13 @@ pub mod collective;
 pub mod env;
 pub mod error;
 pub mod fault;
+pub mod fit;
 #[cfg(loom)]
 mod loom_model;
 pub mod model;
 pub mod runtime;
 pub mod stats;
+pub mod telemetry;
 pub mod transport;
 
 pub use collective::{AllreduceAlgo, ReduceOp};
@@ -32,9 +34,11 @@ pub use fault::{
     checksum, checksum_bytes, splitmix64, FaultAction, FaultEvent, FaultKind, FaultPlan, FaultRule,
     FaultSite,
 };
+pub use fit::{fit_alpha_beta, fit_gamma, CommFit, ExchangeSample, FitResidual, FitTerms};
 pub use model::{p2p_only_delta, CostModel};
 pub use runtime::{default_timeout, Communicator, Universe, FRAME_WORDS};
 pub use stats::{CollectiveEvent, CollectiveKind, CommStats, FaultSnapshot, StatsSnapshot};
+pub use telemetry::RankTelemetry;
 pub use transport::{
     Endpoint, Envelope, MpscTransport, SocketTransport, Transport, WireStats, WIRE_OVERHEAD_BYTES,
 };

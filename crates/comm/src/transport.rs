@@ -44,6 +44,7 @@
 
 use crate::error::{CommError, CommResult};
 use crate::fault;
+use agcm_obs as obs;
 use std::cell::RefCell;
 use std::io::{self, Read, Write};
 use std::net::{TcpListener, TcpStream};
@@ -627,6 +628,9 @@ impl SocketTransport {
     ) -> io::Result<SocketTransport> {
         assert!(size >= 1, "need at least one rank");
         assert!(rank < size, "rank {rank} outside world of {size}");
+        // the whole mesh handshake (listen + dial-out + incoming hellos) as
+        // one transport span; one relaxed load when tracing is disabled
+        let _handshake = obs::span(obs::SpanKind::Transport, "transport.handshake");
         let deadline = Instant::now() + timeout;
         let (kind, listener, listen_path) = match endpoint {
             #[cfg(unix)]
@@ -662,7 +666,7 @@ impl SocketTransport {
             let tx = tx.clone();
             let counters = Arc::clone(&counters);
             std::thread::spawn(move || {
-                let r = accept_all(listener, size, deadline, &tx, &counters);
+                let r = accept_all(listener, rank, size, deadline, &tx, &counters);
                 let _ = done_tx.send(r);
             });
         } else {
@@ -726,6 +730,7 @@ fn tcp_port(base: u16, rank: usize) -> io::Result<u16> {
 
 /// Dial `peer`'s listener, retrying while it may not be up yet.
 fn dial(endpoint: &Endpoint, peer: usize, deadline: Instant) -> io::Result<Conn> {
+    let _sp = obs::span(obs::SpanKind::Transport, "transport.dial");
     loop {
         let attempt = match endpoint {
             #[cfg(unix)]
@@ -760,13 +765,18 @@ fn dial(endpoint: &Endpoint, peer: usize, deadline: Instant) -> io::Result<Conn>
 }
 
 /// Accept, handshake and spawn a reader for each of the `size - 1` peers.
+/// `my_rank` tags the accept helper and its reader threads so their spans
+/// land on the owning rank's trace track.
 fn accept_all(
     listener: Listener,
+    my_rank: usize,
     size: usize,
     deadline: Instant,
     tx: &Sender<Envelope>,
     counters: &Arc<WireCounters>,
 ) -> io::Result<()> {
+    obs::set_rank(my_rank);
+    let _sp = obs::span(obs::SpanKind::Transport, "transport.accept");
     listener.set_nonblocking(true)?;
     let mut seen = vec![false; size];
     for _ in 0..size - 1 {
@@ -800,7 +810,7 @@ fn accept_all(
         conn.set_read_timeout(None)?;
         let tx = tx.clone();
         let counters = Arc::clone(counters);
-        std::thread::spawn(move || reader_loop(conn, peer, tx, counters));
+        std::thread::spawn(move || reader_loop(conn, my_rank, peer, tx, counters));
     }
     Ok(())
 }
@@ -810,11 +820,30 @@ fn accept_all(
 /// stream; a validation failure poisons the mailbox — after a torn or
 /// corrupted frame the stream position cannot be trusted, so the peer is
 /// treated as failed rather than risking silent desynchronization.
-fn reader_loop(mut conn: Conn, peer: usize, tx: Sender<Envelope>, counters: Arc<WireCounters>) {
+fn reader_loop(
+    mut conn: Conn,
+    my_rank: usize,
+    peer: usize,
+    tx: Sender<Envelope>,
+    counters: Arc<WireCounters>,
+) {
+    obs::set_rank(my_rank);
     loop {
+        // bracket the blocking read so traces show what each connection's
+        // reader was doing; the span carries the frame's wire bytes
+        let t0 = if obs::enabled() { obs::now_ns() } else { 0 };
         match read_frame(&mut conn) {
             Ok(Some((env, bytes))) => {
                 counters.record_recvd(bytes);
+                if obs::enabled() {
+                    obs::record_span(
+                        obs::SpanKind::Transport,
+                        obs::Phase::Other,
+                        "transport.read",
+                        t0,
+                        bytes,
+                    );
+                }
                 if tx.send(env).is_err() {
                     return;
                 }

@@ -220,7 +220,7 @@ pub const ADAPTATION: AccessSpec = AccessSpec {
 /// The collective operator `C` ([`crate::vertical::apply_c`]): whole-column
 /// sums (the z-allgather) plus local prefix/suffix walks that read one
 /// row/level beyond the region — the `z ± 1` widening of
-/// [`tables::adaptation_impl_union`].
+/// [`crate::tables::adaptation_impl_union`].
 pub const VERTICAL_C: AccessSpec = AccessSpec {
     op: "vertical.c",
     fields: &[

@@ -547,6 +547,78 @@ pub fn predict_rank_mode(
     rc
 }
 
+// ---------------------------------------------------------------------------
+// Scaling charts and crossover prediction under any (fitted) cost model
+// ---------------------------------------------------------------------------
+
+/// One rank count of a strong-scaling prediction (one column of Figures
+/// 6–8): the baseline algorithm's and the CA algorithm's predicted step
+/// seconds under a common cost model.
+#[derive(Debug, Clone, Copy)]
+pub struct ScalingPoint {
+    /// Total rank count.
+    pub p: usize,
+    /// Predicted step seconds of the baseline algorithm.
+    pub baseline_s: f64,
+    /// Predicted step seconds of the communication-avoiding algorithm.
+    pub ca_s: f64,
+}
+
+impl ScalingPoint {
+    /// Baseline-over-CA speedup (> 1 when CA wins).
+    pub fn speedup(&self) -> f64 {
+        if self.ca_s > 0.0 {
+            self.baseline_s / self.ca_s
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// Chart `baseline` vs the CA algorithm across `ps` rank counts under
+/// `model` — which may be a calibrated preset ([`CostModel::tianhe2`]) or
+/// a machine-fitted model from measured exchange spans
+/// (`agcm_comm::fit::CommFit::model`): the prediction machinery is
+/// identical, only the α/β/γ/sync coefficients change.  `grid` maps a
+/// rank count (and algorithm) to its process grid, decoupling this crate
+/// from the bench harness's grid policy.
+pub fn scaling_chart(
+    cfg: &ModelConfig,
+    baseline: AlgKind,
+    ps: &[usize],
+    grid: impl Fn(usize, AlgKind) -> ProcessGrid,
+    model: &CostModel,
+) -> Vec<ScalingPoint> {
+    ps.iter()
+        .map(|&p| ScalingPoint {
+            p,
+            baseline_s: predict_step(cfg, baseline, grid(p, baseline), model).total_s(),
+            ca_s: predict_step(
+                cfg,
+                AlgKind::CommAvoiding,
+                grid(p, AlgKind::CommAvoiding),
+                model,
+            )
+            .total_s(),
+        })
+        .collect()
+}
+
+/// The crossover rank count: the smallest charted `p` from which the CA
+/// algorithm wins (speedup ≥ 1) *and keeps winning* through the rest of
+/// the chart.  `None` when the baseline still wins at the largest charted
+/// `p` — under a fitted model of a latency-free loopback network, CA's
+/// redundant computation can outweigh its saved messages at every
+/// feasible scale, and that is a finding, not an error.
+pub fn crossover_rank(chart: &[ScalingPoint]) -> Option<usize> {
+    let last_loss = chart
+        .iter()
+        .rposition(|pt| pt.speedup() < 1.0)
+        .map(|i| i + 1)
+        .unwrap_or(0);
+    chart.get(last_loss).map(|pt| pt.p)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -670,5 +742,46 @@ mod tests {
         );
         assert!(t1024.compute_s < t256.compute_s);
         assert!(t1024.total_s() < t256.total_s());
+    }
+
+    #[test]
+    fn scaling_chart_finds_paper_crossover() {
+        // under the Tianhe-2 calibration CA wins everywhere in the paper's
+        // range, so the crossover is the first charted rank count
+        let cfg = paper_cfg();
+        let model = CostModel::tianhe2();
+        let grid = |p: usize, alg: AlgKind| match alg {
+            AlgKind::OriginalXY => ProcessGrid::xy(16, p / 16).expect("xy"),
+            _ => ProcessGrid::yz(p / 8, 8).expect("yz"),
+        };
+        let chart = scaling_chart(
+            &cfg,
+            AlgKind::OriginalYZ,
+            &[128, 256, 512, 1024],
+            grid,
+            &model,
+        );
+        assert_eq!(chart.len(), 4);
+        assert!(chart.iter().all(|pt| pt.speedup() > 1.0));
+        assert_eq!(crossover_rank(&chart), Some(128));
+    }
+
+    #[test]
+    fn crossover_rank_respects_late_losses() {
+        let pt = |p, baseline_s, ca_s| ScalingPoint {
+            p,
+            baseline_s,
+            ca_s,
+        };
+        // CA loses at 128, wins from 256 on: crossover at 256
+        let chart = [pt(128, 1.0, 1.2), pt(256, 1.0, 0.9), pt(512, 1.0, 0.7)];
+        assert_eq!(crossover_rank(&chart), Some(256));
+        // a relapse at 512 pushes the crossover past it
+        let chart = [pt(128, 1.0, 0.9), pt(256, 1.0, 0.8), pt(512, 1.0, 1.1)];
+        assert_eq!(crossover_rank(&chart), None);
+        // baseline never beaten: first charted p
+        let chart = [pt(128, 1.0, 0.5), pt(256, 1.0, 0.4)];
+        assert_eq!(crossover_rank(&chart), Some(128));
+        assert_eq!(crossover_rank(&[]), None);
     }
 }

@@ -639,6 +639,10 @@ impl CaModel {
         if !self.pending_smooth {
             return Ok(());
         }
+        // stamp the epilogue with the step count, not the last step's
+        // index: its exchange is not part of any steady-state step and
+        // must not inflate that step's span counts in a trace
+        obs::set_step(self.steps as u64);
         self.exchanger
             .exchange(comm, self.smooth_depth, &mut state_fields(&mut self.state))?;
         let _s = obs::span_phase(obs::SpanKind::Op, obs::Phase::S1, "smooth.full");

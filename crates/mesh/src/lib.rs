@@ -16,7 +16,7 @@
 //! * [`decomp`] — X-Y / Y-Z / 3-D domain decomposition,
 //! * [`field`] — flat-array field storage with halos,
 //! * [`halo`] — halo exchange planning (Figure 4's eight halo areas),
-//! * [`sanitize`] — runtime access sanitizer (feature `access-sanitizer`):
+//! * `sanitize` — runtime access sanitizer (feature `access-sanitizer`):
 //!   shadow-records the index ranges kernels actually touch so tests can
 //!   diff them against the declared `AccessSpec` footprints.
 

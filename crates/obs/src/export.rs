@@ -132,6 +132,45 @@ impl StepOverlap {
     }
 }
 
+/// Exact quantiles over a set of span durations (ns), computed by sorting
+/// — unlike the log-linear histogram summaries, which carry up to 25%
+/// relative bucket error.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct DurQuantiles {
+    /// Number of spans.
+    pub count: u64,
+    /// Exact median duration (ns).
+    pub p50_ns: u64,
+    /// Exact 95th-percentile duration (ns).
+    pub p95_ns: u64,
+    /// Exact 99th-percentile duration (ns).
+    pub p99_ns: u64,
+    /// Longest duration (ns).
+    pub max_ns: u64,
+}
+
+impl DurQuantiles {
+    /// Compute from an unsorted duration list (sorts in place).
+    pub fn from_durations(durs: &mut [u64]) -> DurQuantiles {
+        if durs.is_empty() {
+            return DurQuantiles::default();
+        }
+        durs.sort_unstable();
+        let n = durs.len();
+        let at = |q: f64| {
+            let idx = ((q * n as f64).ceil() as usize).clamp(1, n) - 1;
+            durs[idx]
+        };
+        DurQuantiles {
+            count: n as u64,
+            p50_ns: at(0.50),
+            p95_ns: at(0.95),
+            p99_ns: at(0.99),
+            max_ns: durs[n - 1],
+        }
+    }
+}
+
 /// Aggregates derived from one drained event stream.
 #[derive(Debug, Clone, Default)]
 pub struct TraceReport {
@@ -143,6 +182,9 @@ pub struct TraceReport {
     pub imbalance: BTreeMap<&'static str, PhaseImbalance>,
     /// Per-step overlap profile, ascending by step.
     pub overlap: Vec<StepOverlap>,
+    /// Exact quantiles of individual exchange-wait span durations — the
+    /// tail of this distribution is what the overlap scheme must hide.
+    pub wait_quantiles: DurQuantiles,
     /// Number of ranks observed.
     pub ranks: usize,
     /// Total events aggregated.
@@ -175,6 +217,7 @@ impl TraceReport {
         let mut per_rank: BTreeMap<&'static str, BTreeMap<usize, u64>> = BTreeMap::new();
         let mut ranks: std::collections::BTreeSet<usize> = std::collections::BTreeSet::new();
         let mut overlap: BTreeMap<u64, StepOverlap> = BTreeMap::new();
+        let mut wait_durs: Vec<u64> = Vec::new();
         for e in events {
             ranks.insert(e.rank);
             match e.kind {
@@ -203,6 +246,7 @@ impl TraceReport {
                         wait_ns: 0,
                     });
                     s.wait_ns += e.dur_ns();
+                    wait_durs.push(e.dur_ns());
                 }
                 _ => {}
             }
@@ -230,6 +274,7 @@ impl TraceReport {
             );
         }
         rep.overlap = overlap.into_values().collect();
+        rep.wait_quantiles = DurQuantiles::from_durations(&mut wait_durs);
         rep
     }
 }
@@ -305,6 +350,12 @@ pub fn metrics_json(label: &str, report: &TraceReport, metrics: &MetricsSnapshot
         "  \"mean_overlap_efficiency\": {},",
         json_f64(report.mean_overlap_efficiency())
     );
+    let wq = &report.wait_quantiles;
+    let _ = writeln!(
+        &mut out,
+        "  \"wait_quantiles\": {{\"count\": {}, \"p50_ns\": {}, \"p95_ns\": {}, \"p99_ns\": {}, \"max_ns\": {}}},",
+        wq.count, wq.p50_ns, wq.p95_ns, wq.p99_ns, wq.max_ns
+    );
 
     out.push_str("  \"counters\": {");
     for (i, (k, v)) in metrics.counters.iter().enumerate() {
@@ -337,11 +388,12 @@ pub fn metrics_json(label: &str, report: &TraceReport, metrics: &MetricsSnapshot
         push_json_str(&mut out, k);
         let _ = write!(
             &mut out,
-            ": {{\"count\": {}, \"sum\": {}, \"mean\": {}, \"p50\": {}, \"p99\": {}, \"max\": {}}}",
+            ": {{\"count\": {}, \"sum\": {}, \"mean\": {}, \"p50\": {}, \"p95\": {}, \"p99\": {}, \"max\": {}}}",
             v.count,
             v.sum,
             json_f64(v.mean),
             v.p50,
+            v.p95,
             v.p99,
             v.max
         );

@@ -49,18 +49,19 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod dist;
 mod export;
 mod metrics;
 mod phase;
 mod tracer;
 
 pub use export::{
-    chrome_trace_json, metrics_json, validate_chrome_trace, validate_json, PhaseImbalance,
-    StepOverlap, TraceReport,
+    chrome_trace_json, metrics_json, validate_chrome_trace, validate_json, DurQuantiles,
+    PhaseImbalance, StepOverlap, TraceReport,
 };
 pub use metrics::{Counter, Gauge, Histogram, HistogramSummary, MetricsSnapshot, Registry};
 pub use phase::{current_phase, Phase};
 pub use tracer::{
-    disable, drain, enable, enabled, exclusive, now_ns, record_span, record_value, reset, set_rank,
-    set_step, span, span_phase, Event, Span, SpanKind,
+    disable, drain, enable, enabled, exclusive, now_ns, pending_events, record_span, record_value,
+    reset, set_rank, set_step, span, span_phase, Event, Span, SpanKind,
 };

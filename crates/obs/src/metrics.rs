@@ -226,6 +226,7 @@ impl Registry {
                         sum: v.sum(),
                         mean: v.mean(),
                         p50: v.quantile(0.50),
+                        p95: v.quantile(0.95),
                         p99: v.quantile(0.99),
                         max: v.max(),
                     },
@@ -268,6 +269,8 @@ pub struct HistogramSummary {
     pub mean: f64,
     /// Approximate median.
     pub p50: u64,
+    /// Approximate 95th percentile.
+    pub p95: u64,
     /// Approximate 99th percentile.
     pub p99: u64,
     /// Exact maximum.

@@ -51,6 +51,11 @@ pub enum SpanKind {
     /// cross-check — worker fan-out is an implementation detail below the
     /// operator level.
     Worker,
+    /// Transport-layer activity below the exchange level: the socket
+    /// handshake (listen / dial / hello), and per-connection reader-thread
+    /// frame receipt.  Like [`SpanKind::Worker`], never counted by the
+    /// schedule cross-check.
+    Transport,
 }
 
 impl SpanKind {
@@ -67,6 +72,7 @@ impl SpanKind {
             SpanKind::Gauge => "gauge",
             SpanKind::Recovery => "recovery",
             SpanKind::Worker => "worker",
+            SpanKind::Transport => "transport",
         }
     }
 }
@@ -381,6 +387,15 @@ pub fn drain() -> Vec<Event> {
     }
     out.sort_by_key(|e| (e.t0_ns, e.seq));
     out
+}
+
+/// How many events are buffered right now, without draining them — a
+/// cheap progress figure for live telemetry snapshots.
+pub fn pending_events() -> usize {
+    shards()
+        .iter()
+        .map(|s| s.lock().unwrap_or_else(|p| p.into_inner()).len())
+        .sum()
 }
 
 /// Drop all buffered events and reset the logical clock (the wall-clock

@@ -29,15 +29,21 @@
 //!    the kernel as exactly one checksummed frame, nothing more.
 
 #![forbid(unsafe_code)]
+use agcm_comm::telemetry::{self, CLOCK_ROUNDS};
 use agcm_comm::{
-    p2p_only_delta, Communicator, Endpoint, SocketTransport, WireStats, WIRE_OVERHEAD_BYTES,
+    fit_alpha_beta, fit_gamma, p2p_only_delta, CommFit, Communicator, CostModel, Endpoint,
+    SocketTransport, WireStats, WIRE_OVERHEAD_BYTES,
 };
-use agcm_core::analysis::{AlgKind, CaMode};
+use agcm_core::analysis::{
+    crossover_rank, predict_step, scaling_chart, AlgKind, CaMode, ScalingPoint,
+};
 use agcm_core::par::{gather_ca_state, Alg1Model, CaModel, GlobalState};
 use agcm_core::serial::{Iteration, SerialModel};
 use agcm_core::{init, ModelConfig};
 use agcm_mesh::ProcessGrid;
-use agcm_verify::{rank_counts, ScheduleGraph};
+use agcm_obs as obs;
+use agcm_obs::dist::{self, OffsetEstimate};
+use agcm_verify::{critpath, rank_counts, ScheduleGraph};
 use std::fmt::Display;
 use std::fs;
 use std::io::{self, Read, Write};
@@ -91,6 +97,13 @@ pub struct RunOpts {
     pub timeout: Duration,
     /// Keep the per-run scratch directory instead of deleting it.
     pub keep_out: bool,
+    /// Collect per-rank span streams, merge them on rank 0 into one
+    /// clock-aligned Chrome trace, and run the critical-path/cost-model
+    /// analysis in the parent.
+    pub trace: bool,
+    /// Where the merged trace and fit artifacts land (default
+    /// `target/trace-dist`).
+    pub trace_out: Option<PathBuf>,
 }
 
 impl Default for RunOpts {
@@ -102,6 +115,8 @@ impl Default for RunOpts {
             endpoint: None,
             timeout: Duration::from_secs(120),
             keep_out: false,
+            trace: false,
+            trace_out: None,
         }
     }
 }
@@ -111,13 +126,21 @@ const USAGE: &str = "agcm-run: run the dynamical core as one OS process per rank
 USAGE:
     agcm-run [--ranks N] [--alg 1|2|both] [--steps N]
              [--endpoint PATH|tcp:HOST:PORT] [--timeout-secs N] [--keep-out]
+             [--trace] [--trace-out DIR]
 
 Launches N copies of this binary (handshake via AGCM_RANK / AGCM_WORLD_SIZE /
 AGCM_ENDPOINT), integrates the test_medium configuration, and verifies the
 gathered state bitwise against an in-process serial reference, the measured
 per-rank traffic against the static schedule analyzer, and the wire-level
 byte counters against the logical element counts.  Exit code 0 only if every
-check passes on every rank.";
+check passes on every rank.
+
+With --trace every rank records spans, aligns its clock against rank 0 and
+ships its stream over a control communicator at run end; rank 0 merges them
+into one Chrome trace, and the parent validates the JSON, attributes each
+step's critical path against the static schedule, and fits an alpha-beta
+cost model to the measured exchanges (artifacts under --trace-out, default
+target/trace-dist).";
 
 /// Parse the parent's command line (everything after `argv[0]`).
 pub fn parse_args(args: &[String]) -> Result<Option<RunOpts>, String> {
@@ -153,6 +176,10 @@ pub fn parse_args(args: &[String]) -> Result<Option<RunOpts>, String> {
                 )?);
             }
             "--keep-out" => opts.keep_out = true,
+            "--trace" => opts.trace = true,
+            "--trace-out" => {
+                opts.trace_out = Some(PathBuf::from(value("--trace-out", &mut it)?));
+            }
             other => return Err(format!("unknown argument {other:?} (try --help)")),
         }
     }
@@ -277,11 +304,18 @@ impl Model {
 /// One rank of a launched world: connect the socket mesh, integrate, gather
 /// to rank 0, and drop a per-rank traffic report in the scratch directory.
 pub fn worker_main() -> Result<(), String> {
+    let rank: usize = req_env("AGCM_RANK")?;
+    let tracing = matches!(agcm_comm::parse_env::<u32>("AGCM_RUN_TRACE"), Ok(Some(1)));
+    if tracing {
+        // before the socket mesh comes up, so this rank's own handshake
+        // and reader-thread spans are captured and attributed to it
+        obs::set_rank(rank);
+        obs::enable();
+    }
     let transport = SocketTransport::from_env()
         .expect("worker_main requires AGCM_RANK")
         .map_err(|e| format!("socket transport: {e}"))?;
     let mut comm = Communicator::on_transport(Rc::new(transport));
-    let rank = comm.rank();
 
     let alg: u32 = req_env("AGCM_RUN_ALG")?;
     let steps: usize = req_env("AGCM_RUN_STEPS")?;
@@ -290,6 +324,27 @@ pub fn worker_main() -> Result<(), String> {
     let out = PathBuf::from(req_env::<String>("AGCM_RUN_OUT")?);
     let cfg = run_config();
     let pgrid = ProcessGrid::yz(py, pz).map_err(|e| e.to_string())?;
+
+    // telemetry rides a dedicated split communicator so its reserved tags
+    // never meet model traffic; the clock handshake runs before any model
+    // construction, outside every measured bracket
+    let ctl = if tracing {
+        let ctl = comm
+            .split(0, rank)
+            .map_err(|e| format!("control communicator: {e}"))?;
+        let offset = if rank == 0 {
+            telemetry::clock_serve(&ctl, CLOCK_ROUNDS).map_err(|e| format!("clock serve: {e}"))?;
+            OffsetEstimate {
+                offset_ns: 0,
+                rtt_ns: 0,
+            }
+        } else {
+            telemetry::clock_align(&ctl, CLOCK_ROUNDS).map_err(|e| format!("clock align: {e}"))?
+        };
+        Some((ctl, offset))
+    } else {
+        None
+    };
 
     // the event log is needed to subtract collective-internal p2p, exactly
     // as the thread-backed verifier cross-check does
@@ -318,6 +373,14 @@ pub fn worker_main() -> Result<(), String> {
     // step 1: warm-up (fills the C cache, leaves a smoothing pending);
     // step 2: the steady-state step the static analyzer predicts
     model.step(&comm)?;
+    // live progress snapshots only ever run OUTSIDE the s0→delta bracket
+    // below, so the verified traffic and wire identities stay exact
+    if let Some((ctl, _)) = &ctl {
+        if rank != 0 {
+            telemetry::send_live_snapshot(ctl, 1, obs::pending_events() as u64)
+                .map_err(|e| format!("live snapshot: {e}"))?;
+        }
+    }
     let s0 = comm.stats().snapshot();
     let e0 = comm.stats().collective_events().len();
     let w0 = comm
@@ -331,8 +394,14 @@ pub fn worker_main() -> Result<(), String> {
         .ok_or("socket transport must expose wire stats")?
         .delta(&w0);
     let pure = p2p_only_delta(&delta, &events);
-    for _ in 2..steps {
+    for s in 2..steps {
         model.step(&comm)?;
+        if let Some((ctl, _)) = &ctl {
+            if rank != 0 {
+                telemetry::send_live_snapshot(ctl, (s + 1) as u64, obs::pending_events() as u64)
+                    .map_err(|e| format!("live snapshot: {e}"))?;
+            }
+        }
     }
     model.finish(&comm)?;
 
@@ -353,6 +422,76 @@ pub fn worker_main() -> Result<(), String> {
     traffic
         .write(&out.join(format!("stats.rank{rank}.txt")))
         .map_err(|e| format!("stats.rank{rank}.txt: {e}"))?;
+    if let Some((ctl, offset)) = &ctl {
+        finish_trace(ctl, offset, rank, steps, &out)?;
+    }
+    Ok(())
+}
+
+/// End-of-run telemetry: every rank drains its tracer and ships its span
+/// stream + metrics snapshot; rank 0 merges all streams onto its own
+/// clock and writes the trace artifacts into the scratch directory for
+/// the parent to validate and analyze.
+fn finish_trace(
+    ctl: &Communicator,
+    offset: &OffsetEstimate,
+    rank: usize,
+    steps: usize,
+    out: &Path,
+) -> Result<(), String> {
+    obs::disable();
+    let events = obs::drain();
+    let metrics = obs::Registry::global().snapshot();
+    if rank != 0 {
+        return telemetry::ship_telemetry(ctl, offset, &events, &metrics)
+            .map_err(|e| format!("shipping telemetry: {e}"));
+    }
+
+    // drain the buffered live snapshots (one per peer per unmeasured step)
+    let live_per_rank = 1 + steps.saturating_sub(2);
+    let mut lines = Vec::new();
+    for src in 1..ctl.size() {
+        for _ in 0..live_per_rank {
+            let (step, pending) = telemetry::recv_live_snapshot(ctl, src)
+                .map_err(|e| format!("live snapshot from rank {src}: {e}"))?;
+            lines.push(format!("live rank={src} step={step} events={pending}"));
+        }
+    }
+
+    let wait_line = |rank: usize, m: &obs::MetricsSnapshot| {
+        m.histograms.get("comm.recv_wait_ns").map(|h| {
+            format!(
+                "recv_wait rank={rank} count={} p50={} p95={} p99={} max={}",
+                h.count, h.p50, h.p95, h.p99, h.max
+            )
+        })
+    };
+    lines.push(format!(
+        "offset rank=0 offset_ns=0 rtt_ns=0 events={}",
+        events.len()
+    ));
+    lines.extend(wait_line(0, &metrics));
+    let mut streams = vec![(0i64, events)];
+    for src in 1..ctl.size() {
+        let t = telemetry::collect_telemetry(ctl, src)
+            .map_err(|e| format!("telemetry from rank {src}: {e}"))?;
+        lines.push(format!(
+            "offset rank={src} offset_ns={} rtt_ns={} events={}",
+            t.offset_ns,
+            t.rtt_ns,
+            t.events.len()
+        ));
+        lines.extend(wait_line(src, &t.metrics));
+        streams.push((t.offset_ns, t.events));
+    }
+
+    let merged = dist::merge_events(&streams);
+    fs::write(out.join("trace.json"), obs::chrome_trace_json(&merged))
+        .map_err(|e| format!("trace.json: {e}"))?;
+    fs::write(out.join("events.bin"), dist::encode_events(&merged))
+        .map_err(|e| format!("events.bin: {e}"))?;
+    fs::write(out.join("telemetry.txt"), lines.join("\n") + "\n")
+        .map_err(|e| format!("telemetry.txt: {e}"))?;
     Ok(())
 }
 
@@ -383,8 +522,8 @@ fn run_one_world(alg: u32, opts: &RunOpts) -> Result<(), String> {
 
     let mut children: Vec<Child> = Vec::with_capacity(p);
     for rank in 0..p {
-        let child = Command::new(&exe)
-            .env("AGCM_RANK", rank.to_string())
+        let mut cmd = Command::new(&exe);
+        cmd.env("AGCM_RANK", rank.to_string())
             .env("AGCM_WORLD_SIZE", p.to_string())
             .env("AGCM_ENDPOINT", endpoint.to_string())
             .env("AGCM_RUN_ALG", alg.to_string())
@@ -392,13 +531,24 @@ fn run_one_world(alg: u32, opts: &RunOpts) -> Result<(), String> {
             .env("AGCM_RUN_PY", p.to_string())
             .env("AGCM_RUN_PZ", "1")
             .env("AGCM_RUN_OUT", &out)
-            .stdin(Stdio::null())
+            .stdin(Stdio::null());
+        if opts.trace {
+            cmd.env("AGCM_RUN_TRACE", "1");
+        }
+        let child = cmd
             .spawn()
             .map_err(|e| format!("spawning rank {rank}: {e}"))?;
         children.push(child);
     }
     let result = await_world(&mut children, opts.timeout)
-        .and_then(|()| verify_world(alg, p, pgrid, &cfg, opts.steps, &out));
+        .and_then(|()| verify_world(alg, p, pgrid, &cfg, opts.steps, &out))
+        .and_then(|()| {
+            if opts.trace {
+                analyze_world_trace(alg, p, pgrid, &cfg, opts, &out)
+            } else {
+                Ok(())
+            }
+        });
     if result.is_ok() && !opts.keep_out {
         let _ = fs::remove_dir_all(&out);
     } else if result.is_err() {
@@ -522,6 +672,284 @@ fn verify_world(
          wire identity holds ({wire_bytes_total} bytes in the measured step)"
     );
     Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Distributed trace analysis (parent side of --trace)
+// ---------------------------------------------------------------------------
+
+/// The step index the critical-path analysis targets: the models stamp
+/// spans with their pre-increment step counter, so the warm-up records
+/// step 0 and the measured steady-state step — the one the static
+/// schedule describes — records step 1.
+pub const MEASURED_STEP: u64 = 1;
+
+/// The rank counts charted under the fitted cost model (the paper's
+/// evaluation points).
+pub const CHART_RANKS: [usize; 4] = [128, 256, 512, 1024];
+
+/// A finite `f64` as a JSON number (non-finite values become `null`).
+fn jnum(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:e}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Validate and analyze the merged trace of one finished world:
+///
+/// 1. the merged Chrome trace must be RFC 8259-valid JSON with at least
+///    one span per rank and one `Op` span per operator phase per rank in
+///    the measured step;
+/// 2. joined against the static [`ScheduleGraph`], the measured step must
+///    attribute cleanly (exchange-wait and collective span counts equal
+///    the schedule's, per rank) and name its critical path;
+/// 3. an α–β fit over the measured exchange spans must report its
+///    residuals, and the fitted model is charted on the paper mesh.
+///
+/// Artifacts (`trace_alg{N}.json`, `fit_alg{N}.json`, `telemetry_alg{N}.txt`)
+/// land in `--trace-out` (default `target/trace-dist`).
+fn analyze_world_trace(
+    alg: u32,
+    p: usize,
+    pgrid: ProcessGrid,
+    cfg: &ModelConfig,
+    opts: &RunOpts,
+    out: &Path,
+) -> Result<(), String> {
+    let trace_out = opts
+        .trace_out
+        .clone()
+        .unwrap_or_else(|| PathBuf::from("target/trace-dist"));
+    fs::create_dir_all(&trace_out).map_err(|e| format!("{}: {e}", trace_out.display()))?;
+
+    // 1. merged trace: valid JSON, every rank and phase represented
+    let trace_src = fs::read_to_string(out.join("trace.json"))
+        .map_err(|e| format!("reading merged trace: {e}"))?;
+    obs::validate_json(&trace_src).map_err(|e| format!("merged trace is not valid JSON: {e}"))?;
+    let blob = fs::read(out.join("events.bin")).map_err(|e| format!("reading events.bin: {e}"))?;
+    let merged = dist::decode_events(&blob).map_err(|e| format!("decoding events.bin: {e}"))?;
+    // the program is SPMD: any operator phase one rank ran in the measured
+    // step, every rank must have run (Alg 1 has no deferred-smoothing S2
+    // phase, so the required set is derived from the trace, not hardcoded)
+    let ran = |rank: usize, phase: obs::Phase| {
+        merged.iter().any(|e| {
+            e.rank == rank
+                && e.kind == obs::SpanKind::Op
+                && e.phase == phase
+                && e.step == MEASURED_STEP
+        })
+    };
+    for rank in 0..p {
+        if !merged.iter().any(|e| e.rank == rank) {
+            return Err(format!(
+                "alg{alg}: merged trace has no track for rank {rank}"
+            ));
+        }
+        for phase in obs::Phase::OPERATORS {
+            if !ran(rank, phase) && (0..p).any(|r| ran(r, phase)) {
+                return Err(format!(
+                    "alg{alg} rank {rank}: no phase-{} op span in the measured step \
+                     (other ranks ran it)",
+                    phase.label()
+                ));
+            }
+        }
+    }
+    if !(0..p).any(|r| ran(r, obs::Phase::A)) {
+        return Err(format!(
+            "alg{alg}: no adaptation op spans at all in the measured step"
+        ));
+    }
+
+    // 2. critical path of the measured step against the static schedule
+    let alg_kind = if alg == 1 {
+        AlgKind::OriginalYZ
+    } else {
+        AlgKind::CommAvoiding
+    };
+    let graph = ScheduleGraph::extract(cfg, alg_kind, CaMode::Grouped, pgrid)?;
+    let measured: Vec<obs::Event> = merged
+        .iter()
+        .filter(|e| e.step == MEASURED_STEP)
+        .cloned()
+        .collect();
+    let rep = critpath::analyze(&measured, &graph);
+    if !rep.is_consistent() {
+        return Err(format!(
+            "alg{alg}: merged trace inconsistent with the static schedule: {}",
+            rep.errors.join("; ")
+        ));
+    }
+    let step = rep
+        .steps
+        .first()
+        .ok_or_else(|| format!("alg{alg}: no complete measured step in the merged trace"))?;
+
+    // 3. fit the measured exchanges; γ from the critical rank's compute
+    let fit = fit_alpha_beta(&rep.samples).map_err(|e| format!("alg{alg} cost fit: {e}"))?;
+    let probe = CostModel {
+        alpha: 0.0,
+        beta: 0.0,
+        gamma: 1.0,
+        sync: 0.0,
+        name: "probe",
+    };
+    let updates = predict_step(cfg, alg_kind, pgrid, &probe).compute_s;
+    let gamma = fit_gamma(step.breakdown.compute_ns as f64 * 1e-9, updates);
+    let fitted = fit.model(gamma);
+    let paper = ModelConfig::paper_50km();
+    let chart = scaling_chart(
+        &paper,
+        AlgKind::OriginalYZ,
+        &CHART_RANKS,
+        |p, _| ProcessGrid::yz(p / 8, 8).expect("paper grid"),
+        &fitted,
+    );
+    let crossover = crossover_rank(&chart);
+
+    fs::copy(
+        out.join("trace.json"),
+        trace_out.join(format!("trace_alg{alg}.json")),
+    )
+    .map_err(|e| format!("copying trace: {e}"))?;
+    let _ = fs::copy(
+        out.join("telemetry.txt"),
+        trace_out.join(format!("telemetry_alg{alg}.txt")),
+    );
+    let fit_json = fit_report_json(alg, p, &fit, gamma, step, &chart, crossover);
+    obs::validate_json(&fit_json).map_err(|e| format!("fit report JSON invalid: {e}"))?;
+    fs::write(trace_out.join(format!("fit_alg{alg}.json")), &fit_json)
+        .map_err(|e| format!("fit_alg{alg}.json: {e}"))?;
+
+    let b = &step.breakdown;
+    let pct = |ns: u64| 100.0 * ns as f64 / (step.critical_wall_ns.max(1)) as f64;
+    let block = step
+        .blocking
+        .first()
+        .map(|a| format!("{} ({})", a.op_label, a.name))
+        .unwrap_or_else(|| "none".to_string());
+    println!(
+        "agcm-run: alg{alg} trace: {} events, {p} tracks merged; step {}: makespan {:.1} µs, \
+         critical rank {} (compute {:.0}%, pack {:.0}%, wire-wait {:.0}%, collective {:.0}%, \
+         longest block: {block}); fit[{}] α={:.3e} s β={:.3e} s/B sync={:.3e} s \
+         rel_rmse={:.3} over {} samples; paper-mesh crossover: {}",
+        merged.len(),
+        step.step,
+        step.makespan_ns as f64 / 1e3,
+        step.critical_rank,
+        pct(b.compute_ns),
+        pct(b.pack_ns),
+        pct(b.wire_wait_ns),
+        pct(b.collective_ns),
+        fit.terms.label(),
+        fit.alpha,
+        fit.beta,
+        fit.sync,
+        fit.rel_rmse(),
+        fit.residuals.len(),
+        match crossover {
+            Some(p) => format!("p = {p}"),
+            None => "none in charted range".to_string(),
+        },
+    );
+    Ok(())
+}
+
+/// Hand-rolled (std-only) JSON fit/critical-path report of one world.
+fn fit_report_json(
+    alg: u32,
+    p: usize,
+    fit: &CommFit,
+    gamma: f64,
+    step: &critpath::StepCriticalPath,
+    chart: &[ScalingPoint],
+    crossover: Option<usize>,
+) -> String {
+    let mut s = String::with_capacity(4096);
+    s.push_str("{\n");
+    s.push_str("  \"schema_version\": 1,\n");
+    s.push_str(&format!("  \"alg\": {alg},\n  \"ranks\": {p},\n"));
+    s.push_str(&format!(
+        "  \"fit\": {{\"terms\": \"{}\", \"alpha_s\": {}, \"beta_s_per_byte\": {}, \
+         \"sync_s\": {}, \"gamma_s\": {}, \"rel_rmse\": {}, \"max_rel_err\": {}}},\n",
+        fit.terms.label(),
+        jnum(fit.alpha),
+        jnum(fit.beta),
+        jnum(fit.sync),
+        jnum(gamma),
+        jnum(fit.rel_rmse()),
+        jnum(fit.max_rel_err()),
+    ));
+    let rows: Vec<String> = fit
+        .residuals
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"op\": {}, \"name\": \"{}\", \"msgs\": {}, \"bytes\": {}, \
+                 \"measured_s\": {}, \"predicted_s\": {}, \"rel_err\": {}}}",
+                r.op,
+                r.name,
+                r.msgs,
+                r.bytes,
+                jnum(r.measured_s),
+                jnum(r.predicted_s),
+                jnum(r.rel_err()),
+            )
+        })
+        .collect();
+    s.push_str(&format!("  \"residuals\": [\n{}\n  ],\n", rows.join(",\n")));
+    let b = &step.breakdown;
+    let blocking: Vec<String> = step
+        .blocking
+        .iter()
+        .take(5)
+        .map(|a| {
+            format!(
+                "      {{\"rank\": {}, \"op\": {}, \"label\": \"{}\", \"name\": \"{}\", \
+                 \"dur_ns\": {}, \"bytes\": {}}}",
+                a.rank, a.op, a.op_label, a.name, a.dur_ns, a.bytes
+            )
+        })
+        .collect();
+    s.push_str(&format!(
+        "  \"critical_path\": {{\"step\": {}, \"makespan_ns\": {}, \"critical_rank\": {}, \
+         \"critical_wall_ns\": {}, \"compute_ns\": {}, \"pack_ns\": {}, \"wire_wait_ns\": {}, \
+         \"collective_ns\": {},\n    \"blocking\": [\n{}\n    ]}},\n",
+        step.step,
+        step.makespan_ns,
+        step.critical_rank,
+        step.critical_wall_ns,
+        b.compute_ns,
+        b.pack_ns,
+        b.wire_wait_ns,
+        b.collective_ns,
+        blocking.join(",\n"),
+    ));
+    let points: Vec<String> = chart
+        .iter()
+        .map(|pt| {
+            format!(
+                "    {{\"p\": {}, \"baseline_s\": {}, \"ca_s\": {}, \"speedup\": {}}}",
+                pt.p,
+                jnum(pt.baseline_s),
+                jnum(pt.ca_s),
+                jnum(pt.speedup()),
+            )
+        })
+        .collect();
+    s.push_str(&format!(
+        "  \"paper_mesh_chart\": {{\"baseline\": \"original Y-Z\", \"points\": [\n{}\n  ], \
+         \"crossover_p\": {}}}\n",
+        points.join(",\n"),
+        match crossover {
+            Some(p) => p.to_string(),
+            None => "null".to_string(),
+        },
+    ));
+    s.push_str("}\n");
+    s
 }
 
 fn serial_reference(

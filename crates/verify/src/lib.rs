@@ -29,12 +29,19 @@
 //!    *instrumentation* (which the figures' trace exporter consumes) to
 //!    the same ground truth.
 //!
+//! 6. **Critical-path attribution** ([`critpath::analyze`]): a merged,
+//!    clock-aligned multi-process trace is joined span-by-span against the
+//!    static graph, naming per step the blocking (rank, op, event) chain
+//!    and producing the measured exchange samples the α–β–γ fitter
+//!    ([`agcm_comm::fit`]) regresses.
+//!
 //! [`report::certify_yz`] bundles the static analyses;
 //! `cargo run -p agcm-bench --bin figures -- verify` prints the paper-mesh
 //! certification table.
 
 #![forbid(unsafe_code)]
 pub mod counts;
+pub mod critpath;
 pub mod dataflow;
 pub mod deadlock;
 pub mod graph;
@@ -44,6 +51,9 @@ pub mod runtime;
 pub mod trace;
 
 pub use counts::{certify_counts, rank_counts, CountReport, RankCounts};
+pub use critpath::{
+    analyze, CriticalPathReport, SegmentBreakdown, SpanAttribution, StepCriticalPath,
+};
 pub use dataflow::{check_ops, Counterexample, FailureKind, FlowProof};
 pub use deadlock::{check_deadlock, DeadlockReport};
 pub use graph::{Action, RecvEvent, ScheduleGraph, SendEvent};
